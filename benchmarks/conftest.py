@@ -1,0 +1,91 @@
+"""Shared infrastructure for the evaluation benches.
+
+Every bench regenerates one of the paper's tables/figures.  Simulations
+are expensive, so results are cached per (benchmark, core, mode) in a
+session-scoped store: Fig. 13/14/15 and the power table all reuse the
+same runs.  Traces are generated once per workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.baselines.ts import TSResult, analyze_ts
+from repro.core import CORES, RecycleMode, SimResult, simulate
+from repro.pipeline.trace import Trace, generate_trace
+from repro.workloads.suites import SUITES, default_scale
+
+#: evaluation order used by every figure
+SUITE_ORDER = ("spec", "mibench", "ml")
+CORE_ORDER = ("big", "medium", "small")
+
+
+@dataclass
+class Evaluation:
+    """Lazy, memoised access to every simulation the figures need."""
+
+    _traces: Dict[Tuple[str, str], Trace] = field(default_factory=dict)
+    _runs: Dict[Tuple[str, str, str, str], SimResult] = field(
+        default_factory=dict)
+    _ts: Dict[Tuple[str, str], TSResult] = field(default_factory=dict)
+
+    def trace(self, suite: str, bench: str) -> Trace:
+        key = (suite, bench)
+        if key not in self._traces:
+            builder = SUITES[suite][bench]
+            program = builder(**default_scale(suite, bench))
+            self._traces[key] = generate_trace(program)
+        return self._traces[key]
+
+    def run(self, suite: str, bench: str, core: str,
+            mode: RecycleMode) -> SimResult:
+        key = (suite, bench, core, mode.value)
+        if key not in self._runs:
+            config = CORES[core].with_mode(mode)
+            self._runs[key] = simulate(self.trace(suite, bench), config)
+        return self._runs[key]
+
+    def speedup(self, suite: str, bench: str, core: str,
+                mode: RecycleMode = RecycleMode.REDSOC) -> float:
+        base = self.run(suite, bench, core, RecycleMode.BASELINE)
+        other = self.run(suite, bench, core, mode)
+        return base.cycles / other.cycles - 1.0
+
+    def ts(self, suite: str, bench: str) -> TSResult:
+        key = (suite, bench)
+        if key not in self._ts:
+            self._ts[key] = analyze_ts(self.trace(suite, bench))
+        return self._ts[key]
+
+    def benchmarks(self, suite: str):
+        return list(SUITES[suite])
+
+    def suite_mean_speedup(self, suite: str, core: str,
+                           mode: RecycleMode = RecycleMode.REDSOC
+                           ) -> float:
+        values = [self.speedup(suite, b, core, mode)
+                  for b in self.benchmarks(suite)]
+        return sum(values) / len(values)
+
+
+_EVALUATION = Evaluation()
+
+
+@pytest.fixture(scope="session")
+def evaluation() -> Evaluation:
+    return _EVALUATION
+
+
+@pytest.fixture()
+def bench_once(benchmark):
+    """Run a figure-generating callable exactly once under
+    pytest-benchmark (simulations are far too heavy to repeat)."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

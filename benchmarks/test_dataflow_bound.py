@@ -1,0 +1,48 @@
+"""Analysis — measured speedup vs the dataflow-bound upper limit.
+
+For every benchmark, the dataflow critical path gives an upper bound on
+what slack recycling can achieve (see
+:mod:`repro.analysis.critical_path`).  The bench verifies measured
+speedups respect the bound and reports harvest efficiency — separating
+"no slack on the critical path" from "the scheduler failed to catch it".
+"""
+
+from repro.analysis.critical_path import analyze_critical_path
+from repro.analysis.report import print_table
+
+from conftest import SUITE_ORDER
+
+
+def generate_bounds(evaluation):
+    rows = []
+    for suite in SUITE_ORDER:
+        for bench in evaluation.benchmarks(suite):
+            trace = evaluation.trace(suite, bench)
+            bound = analyze_critical_path(trace).bound_speedup
+            measured = evaluation.speedup(suite, bench, "big")
+            harvest = measured / bound if bound > 0.01 else float("nan")
+            rows.append((suite, bench, f"{100 * bound:.1f}%",
+                         f"{100 * measured:.1f}%",
+                         f"{100 * harvest:.0f}%" if harvest == harvest
+                         else "-"))
+    return rows
+
+
+def test_dataflow_bound(evaluation, bench_once):
+    rows = bench_once(generate_bounds, evaluation)
+    print_table("Dataflow bound vs measured speedup (BIG)",
+                ["suite", "benchmark", "bound", "measured", "harvest"],
+                rows)
+
+    for suite, bench, bound_s, measured_s, _ in rows:
+        bound = float(bound_s.rstrip("%"))
+        measured = float(measured_s.rstrip("%"))
+        # the dataflow bound holds a comfortable margin over measured
+        # (cross-iteration overlap can add a little on top of the
+        # single-chain bound, hence the tolerance)
+        assert measured <= bound + 12.0, (suite, bench)
+    # chain-bound kernels harvest a large share of their bound
+    table = {(r[0], r[1]): r for r in rows}
+    crc_bound = float(table[("mibench", "crc")][2].rstrip("%"))
+    crc_meas = float(table[("mibench", "crc")][3].rstrip("%"))
+    assert crc_meas > 0.4 * crc_bound

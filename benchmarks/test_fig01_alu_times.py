@@ -1,0 +1,44 @@
+"""Fig. 1 — Computation time for ALU operations.
+
+Regenerates the per-opcode single-cycle ALU computation times (ps) of
+the synthetic 2 GHz datapath, in the paper's display order: bitwise
+logic, shifts/rotates, arithmetic, carry arithmetic, and shift-modified
+composites (ADD-LSR / SUB-ROR).
+"""
+
+from repro.analysis.report import print_table
+from repro.core import SlackLUT
+from repro.timing import DEFAULT_TECH, fig1_table
+
+
+def generate_fig1():
+    lut = SlackLUT()
+    rows = []
+    for name, ps in fig1_table():
+        fraction = ps / DEFAULT_TECH.clock_ps
+        rows.append((name, round(ps, 1), f"{100 * fraction:.0f}%"))
+    return rows
+
+
+def test_fig1_alu_computation_times(bench_once):
+    rows = bench_once(generate_fig1)
+    print_table("Fig. 1: ALU computation times (ps, 500 ps clock)",
+                ["op", "delay_ps", "of cycle"], rows)
+    table = {name: ps for name, ps, _ in rows}
+
+    # logic ops sit in the bottom third of the cycle
+    for op in ("BIC", "MVN", "AND", "EOR", "TST", "TEQ", "ORR", "MOV"):
+        assert table[op] < 0.35 * DEFAULT_TECH.clock_ps
+    # shifts between logic and arithmetic
+    for op in ("LSR", "ASR", "LSL", "ROR", "RRX"):
+        assert table["MOV"] < table[op] < table["ADD"]
+    # arithmetic uses 60-80% of the cycle
+    for op in ("RSB", "SUB", "CMP", "ADD", "CMN"):
+        assert 0.55 < table[op] / DEFAULT_TECH.clock_ps < 0.85
+    # carry variants are slightly slower
+    assert table["ADDC"] > table["ADD"]
+    assert table["SUBC"] > table["SUB"]
+    # shift-modified composites are the critical path, still in-cycle
+    worst = max(table.values())
+    assert worst == table["ADD-LSR"] == table["SUB-ROR"]
+    assert worst + DEFAULT_TECH.setup_ps <= DEFAULT_TECH.clock_ps

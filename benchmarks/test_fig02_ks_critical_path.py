@@ -1,0 +1,30 @@
+"""Fig. 2 — Critical path of a Kogge-Stone adder vs effective width.
+
+Regenerates the varying critical-delay bands of the 16-bit KS adder for
+different effective operand widths (the Width-Slack source).
+"""
+
+from repro.analysis.report import print_table
+from repro.timing import fig2_series, ks_adder_delay_ps
+
+
+def generate_fig2():
+    return fig2_series(16)
+
+
+def test_fig2_ks_adder_critical_path(bench_once):
+    series = bench_once(generate_fig2)
+    print_table("Fig. 2: KS-adder critical delay vs effective width",
+                ["width", "delay_ps"], series)
+    delays = dict(series)
+
+    # monotone non-decreasing with width
+    values = [d for _, d in series]
+    assert values == sorted(values)
+    # the paper's colour bands: steps at powers of two
+    assert delays[4] < delays[5]
+    assert delays[8] < delays[9]
+    # narrow operands leave large slack vs the full-width path
+    assert delays[4] < 0.6 * delays[16]
+    # consistent with the 32-bit model used by the ALU table
+    assert ks_adder_delay_ps(16) >= delays[16]

@@ -1,0 +1,64 @@
+"""Fig. 10 — Benchmark operation characteristics.
+
+Regenerates the per-benchmark committed-operation distribution over the
+paper's six classes: MEM-HL (L1-missing), MEM-LL, SIMD, OtherMulti
+(multi-cycle), ALU-LS (low-slack) and ALU-HS (slack > 20 % of the
+cycle).  Measured on the BIG core's baseline runs.
+"""
+
+from repro.analysis.report import print_table
+from repro.analysis.stats import OP_CLASSES
+from repro.core import RecycleMode
+
+from conftest import SUITE_ORDER
+
+
+def generate_fig10(evaluation):
+    rows = []
+    for suite in SUITE_ORDER:
+        fractions = {cls: 0.0 for cls in OP_CLASSES}
+        benches = evaluation.benchmarks(suite)
+        for bench in benches:
+            run = evaluation.run(suite, bench, "big",
+                                 RecycleMode.BASELINE)
+            dist = run.stats.distribution.fractions()
+            rows.append((suite, bench) + tuple(
+                round(dist[cls], 3) for cls in OP_CLASSES))
+            for cls in OP_CLASSES:
+                fractions[cls] += dist[cls] / len(benches)
+        rows.append((suite, "MEAN") + tuple(
+            round(fractions[cls], 3) for cls in OP_CLASSES))
+    return rows
+
+
+def test_fig10_operation_distribution(evaluation, bench_once):
+    rows = bench_once(generate_fig10, evaluation)
+    print_table("Fig. 10: operation distribution (BIG core, baseline)",
+                ["suite", "benchmark"] + list(OP_CLASSES), rows)
+    table = {(r[0], r[1]): dict(zip(OP_CLASSES, r[2:])) for r in rows}
+
+    # distributions sum to ~1 (rounded cells; branches/NOPs excluded)
+    for dist in table.values():
+        assert 0.9 <= sum(dist.values()) <= 1.01
+
+    # bitcount: almost no memory, dominated by high-slack ALU ops
+    bitcnt = table[("mibench", "bitcnt")]
+    assert bitcnt["MEM-HL"] + bitcnt["MEM-LL"] < 0.05
+    assert bitcnt["ALU-HS"] > 0.6
+
+    # SPEC has the memory-heavy profile of the paper
+    spec = table[("spec", "MEAN")]
+    assert 0.1 < spec["MEM-HL"] + spec["MEM-LL"] < 0.5
+    assert spec["ALU-LS"] > 0.1
+
+    # MiBench averages more high-slack ALU work than SPEC
+    mib = table[("mibench", "MEAN")]
+    assert mib["ALU-HS"] > spec["ALU-HS"]
+
+    # only the ML suite exercises SIMD
+    ml = table[("ml", "MEAN")]
+    assert ml["SIMD"] > 0.1
+    assert spec["SIMD"] == 0.0
+
+    # FP-heavy SPEC members show multi-cycle fractions
+    assert table[("spec", "gromacs")]["OtherMulti"] > 0.03

@@ -1,0 +1,42 @@
+"""Fig. 11 — Expected value of transparent-sequence length.
+
+Regenerates the length-weighted expected value of transparent sequences
+per suite and core.  The paper observes 4-6 on average with enough
+slack per op (10-60 % of the cycle) for sequences to accumulate whole
+cycles.
+"""
+
+from repro.analysis.report import print_table
+from repro.core import RecycleMode
+
+from conftest import CORE_ORDER, SUITE_ORDER
+
+
+def generate_fig11(evaluation):
+    rows = []
+    for suite in SUITE_ORDER:
+        for core in CORE_ORDER:
+            evs = [evaluation.run(suite, b, core, RecycleMode.REDSOC)
+                   .stats.seq_expected_length
+                   for b in evaluation.benchmarks(suite)]
+            rows.append((f"{suite}-MEAN", core,
+                         round(sum(evs) / len(evs), 2)))
+    return rows
+
+
+def test_fig11_transparent_sequence_length(evaluation, bench_once):
+    rows = bench_once(generate_fig11, evaluation)
+    print_table("Fig. 11: EV of transparent sequence length",
+                ["suite", "core", "EV(length)"], rows)
+    table = {(s, c): ev for s, c, ev in rows}
+
+    for (suite, core), ev in table.items():
+        # sequences exist and are bounded by sane chain lengths
+        assert 1.0 <= ev <= 16.0
+    # bigger cores sustain longer transparent sequences (more idle FUs
+    # and more RS entries to schedule aggressively - Sec. VI-A/VI-C)
+    for suite in SUITE_ORDER:
+        assert table[(f"{suite}-MEAN", "big")] >= table[
+            (f"{suite}-MEAN", "small")] - 0.05
+    # at least one suite reaches multi-op sequences on the big core
+    assert max(table[(f"{s}-MEAN", "big")] for s in SUITE_ORDER) > 1.5

@@ -1,0 +1,52 @@
+"""Fig. 15 — Comparison with other proposals (TS and MOS).
+
+Regenerates the suite-mean speedups of ReDSOC against our
+implementations of timing speculation (Razor-like static
+frequency boost, optimistic: no recovery cost) and MOS
+(single-cycle operation fusion).  Shape target: ReDSOC
+clearly outperforms both on every core (the paper reports 2x or more).
+"""
+
+from repro.analysis.report import print_table
+from repro.core import RecycleMode
+
+from conftest import CORE_ORDER, SUITE_ORDER
+
+
+def generate_fig15(evaluation):
+    rows = []
+    for core in CORE_ORDER:
+        for suite in SUITE_ORDER:
+            red = 100 * evaluation.suite_mean_speedup(
+                suite, core, RecycleMode.REDSOC)
+            mos = 100 * evaluation.suite_mean_speedup(
+                suite, core, RecycleMode.MOS)
+            ts_values = [100 * evaluation.ts(suite, b).speedup
+                         for b in evaluation.benchmarks(suite)]
+            ts = sum(ts_values) / len(ts_values)
+            rows.append((f"{core.upper()}:{suite}-MEAN", round(red, 1),
+                         round(ts, 1), round(mos, 1)))
+    return rows
+
+
+def test_fig15_comparison(evaluation, bench_once):
+    rows = bench_once(generate_fig15, evaluation)
+    print_table("Fig. 15: speedup vs other proposals (%)",
+                ["core:suite", "ReDSOC", "TS", "MOS"], rows)
+
+    # ReDSOC at least matches MOS everywhere (transparent flow subsumes
+    # fusion) and TS on the general-purpose suites; our ML kernels are
+    # throughput-bound at small widths (documented deviation in
+    # EXPERIMENTS.md), so TS's frequency bump can tie there
+    for label, red, ts, mos in rows:
+        assert red >= mos - 0.3, label
+        if "ml" not in label:
+            assert red >= ts - 0.6, label
+        assert red >= -0.5, label
+    # ...and clearly beats them where slack is plentiful (big core)
+    big_rows = [r for r in rows if r[0].startswith("BIG")]
+    assert any(red > 2 * max(ts, 0.1) for _, red, ts, _ in big_rows)
+    assert any(red > 2 * max(mos, 0.1) for _, red, _, mos in big_rows)
+    # TS stays bounded by conventional-stage margins (Sec. I's argument)
+    for _, _, ts, _ in rows:
+        assert ts < 10.0

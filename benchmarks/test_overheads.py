@@ -1,0 +1,60 @@
+"""Secs. II-B & IV-E — hardware overheads of the Operational design.
+
+Paper claims: predictors + LUT ≈ 0.52 % area / 0.5 % energy of the OOO
+core; RSE slack machinery ≈ 0.3 % area / 0.8 % energy; skewed selection
+adds 3 ps to a 100 ps select.  The bench regenerates the overhead table
+from the register-bit-equivalent inventory.
+"""
+
+from repro.analysis.report import print_table
+from repro.core import CORES
+from repro.core.overheads import (
+    baseline_inventory,
+    overhead_report,
+    redsoc_additions,
+)
+
+
+def generate_overheads():
+    rows = []
+    for name in ("small", "medium", "big"):
+        rep = overhead_report(CORES[name])
+        rows.append((name,
+                     f"{100 * rep.predictor_area_fraction:.2f}%",
+                     f"{100 * rep.rse_area_fraction:.2f}%",
+                     f"{100 * rep.rse_energy_fraction:.2f}%",
+                     f"{100 * rep.area_fraction:.2f}%",
+                     f"{100 * rep.energy_fraction:.2f}%"))
+    return rows
+
+
+def test_overhead_table(bench_once):
+    rows = bench_once(generate_overheads)
+    print_table("ReDSOC hardware overheads (vs baseline core)",
+                ["core", "LUT+predictors area", "RSE area",
+                 "RSE energy", "total area", "total energy"], rows)
+
+    for name in ("small", "medium", "big"):
+        rep = overhead_report(CORES[name])
+        # all additions are small fractions of the core, as claimed
+        assert rep.predictor_area_fraction < 0.02
+        assert rep.rse_area_fraction < 0.015
+        assert rep.rse_energy_fraction < 0.02
+        assert rep.area_fraction < 0.03
+        assert rep.energy_fraction < 0.03
+        # skewed selection: 3 ps on a 100 ps select arbiter
+        assert rep.select_delay_ps / rep.baseline_select_delay_ps <= 0.03
+
+
+def test_inventory_structure():
+    base = baseline_inventory()
+    extra = redsoc_additions()
+    # caches dominate baseline area, as in any real core
+    total = sum(s.area for s in base.values())
+    caches = base["L1D cache"].area + base["L1I cache"].area
+    assert caches > 0.25 * total
+    # the width predictor is the largest single addition
+    assert max(extra.values(), key=lambda s: s.area).name == \
+        "width predictor"
+    # width predictor state matches the paper's ~1.5 KB + class bits
+    assert 8 * 1024 <= extra["width predictor"].area <= 4 * 8 * 1024

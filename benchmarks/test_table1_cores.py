@@ -1,0 +1,34 @@
+"""Table I — Processor baselines (Small / Medium / Big)."""
+
+from repro.analysis.report import print_table
+from repro.core import CORES
+
+
+def generate_table1():
+    rows = []
+    for name in ("small", "medium", "big"):
+        c = CORES[name]
+        rows.append((name.capitalize(), c.front_width,
+                     f"{c.rob_size}/{c.lsq_size}/{c.rse_size}",
+                     f"{c.alu_units}/{c.simd_units}/{c.fp_units}"))
+    return rows
+
+
+def test_table1_processor_baselines(bench_once):
+    rows = bench_once(generate_table1)
+    print_table("Table I: processor baselines (2 GHz, 64kB L1 / 2MB L2)",
+                ["core", "width", "ROB/LSQ/RSE", "ALU/SIMD/FP"], rows)
+    small, medium, big = (CORES[n] for n in ("small", "medium", "big"))
+
+    # the paper's exact structure sizes
+    assert (small.front_width, medium.front_width, big.front_width) == (3, 4, 8)
+    assert (small.rob_size, medium.rob_size, big.rob_size) == (40, 80, 160)
+    assert (small.lsq_size, medium.lsq_size, big.lsq_size) == (16, 32, 64)
+    assert (small.rse_size, medium.rse_size, big.rse_size) == (32, 64, 128)
+    assert (small.alu_units, medium.alu_units, big.alu_units) == (3, 4, 6)
+    assert (small.simd_units, medium.simd_units, big.simd_units) == (2, 3, 4)
+    assert (small.fp_units, medium.fp_units, big.fp_units) == (2, 3, 4)
+    for cfg in (small, medium, big):
+        assert cfg.memory.l1_size == 64 * 1024
+        assert cfg.memory.l2_size == 2 * 1024 * 1024
+        assert cfg.memory.prefetch

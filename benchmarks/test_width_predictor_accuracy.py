@@ -1,0 +1,44 @@
+"""Sec. II-B — data-width predictor accuracy across the workloads.
+
+The paper's 4K-entry resetting predictor keeps aggressive (unsafe-
+direction) mispredictions around 0.3-0.4 %; conservative mistakes only
+cost recycling opportunity.
+"""
+
+from repro.analysis.report import print_table
+from repro.core import RecycleMode
+
+from conftest import SUITE_ORDER
+
+
+def generate_accuracy(evaluation):
+    rows = []
+    for suite in SUITE_ORDER:
+        for bench in evaluation.benchmarks(suite):
+            run = evaluation.run(suite, bench, "big", RecycleMode.REDSOC)
+            stats = run.stats
+            rows.append((suite, bench,
+                         round(100 * stats.width_accuracy, 1),
+                         round(100 * stats.width_aggressive_rate, 2),
+                         stats.width_replays))
+    return rows
+
+
+def test_width_predictor_accuracy(evaluation, bench_once):
+    rows = bench_once(generate_accuracy, evaluation)
+    print_table("Width predictor accuracy (BIG, ReDSOC)",
+                ["suite", "benchmark", "exact %", "aggressive %",
+                 "replays"], rows)
+
+    aggressive = [r[3] for r in rows]
+    # SPEC stays within the paper's sub-percent band; image kernels
+    # with threshold-crossing accumulators are noisier (documented in
+    # EXPERIMENTS.md) but bounded
+    spec_aggr = [r[3] for r in rows if r[0] == "spec"]
+    assert all(a < 1.0 for a in spec_aggr)
+    assert all(a < 4.5 for a in aggressive)
+    mean_aggr = sum(aggressive) / len(aggressive)
+    assert mean_aggr < 1.5
+    # the predictor learns: overall exact accuracy is high on average
+    mean_exact = sum(r[2] for r in rows) / len(rows)
+    assert mean_exact > 55.0

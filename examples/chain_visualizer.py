@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Visualise transparent execution: assembly text in, tick diagram out.
+
+Assembles a kernel from text (the .s-style frontend), runs it under the
+instrumented simulator in baseline and ReDSOC modes, and renders both
+execution timelines — showing exactly where consumers start mid-cycle
+off their producers' completion instants and where FUs are held for two
+cycles (the paper's Fig. 4/5 pictures, regenerated from a live run).
+
+Run:  python examples/chain_visualizer.py
+"""
+
+from repro.analysis.timeline import render_uops
+from repro.core import BIG, RecycleMode
+from repro.core.audit import _RecordingSimulator
+from repro.isa import assemble_text
+from repro.pipeline.trace import generate_trace
+
+KERNEL = """
+    ; a mixed-slack dependence chain, 20 iterations
+        mov  r1, #0x1234
+        mov  r2, #20
+    loop:
+        eor  r1, r1, #0x5A      ; logic: 3 ticks
+        add  r1, r1, #0x33      ; narrow arith: 5-6 ticks
+        ror  r1, r1, #7         ; shift: 5 ticks
+        subs r2, r2, #1
+        bne  loop
+        halt
+"""
+
+
+def run(mode):
+    trace = generate_trace(assemble_text(KERNEL, name="viz"))
+    sim = _RecordingSimulator(trace, BIG.with_mode(mode))
+    result = sim.run()
+    # pick a steady-state slice of the chain ops
+    chain = [u for u in sim.issued_log
+             if u.instr.op.name in ("EOR", "ADD", "ROR")
+             and 20 <= u.seq <= 40]
+    chain.sort(key=lambda u: u.seq)
+    return result, chain
+
+
+def main():
+    for mode in (RecycleMode.BASELINE, RecycleMode.REDSOC):
+        result, chain = run(mode)
+        print(f"\n=== {mode.value}: {result.cycles} cycles "
+              f"(IPC {result.ipc:.2f}) ===")
+        print(render_uops(chain, limit=12))
+    print("\nIn the ReDSOC timeline, each op begins the instant its "
+          "producer's output\nstabilises (mid-cycle), and ops whose "
+          "window crosses a clock edge hold\ntheir FU for two cycles — "
+          "the slack accumulates until a whole cycle is saved.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""PVT drift and CPM-driven slack recalibration (Sec. V).
+
+Walks the PVT machinery: how voltage/temperature drift scales the
+datapath delays, how the critical-path monitors sense it, and how the
+10 000-cycle recalibration loop keeps the slack LUT safe while
+retaining nearly all the available slack.
+
+Run:  python examples/pvt_drift.py
+"""
+
+from repro.analysis.report import print_table
+from repro.core import SlackLUT
+from repro.core.pvt import (
+    PVTCondition,
+    PVTRecalibrator,
+    SCENARIOS,
+    delay_scale,
+    recalibration_report,
+)
+
+
+def main():
+    print_table(
+        "Delay scaling across operating points",
+        ["condition", "delay scale"],
+        [
+            ("nominal (1.10 V, 60 C)", f"{delay_scale(PVTCondition()):.3f}"),
+            ("droop   (1.02 V)",
+             f"{delay_scale(PVTCondition(voltage=1.02)):.3f}"),
+            ("hot     (95 C)",
+             f"{delay_scale(PVTCondition(temp_c=95)):.3f}"),
+            ("slow corner (+8 %)",
+             f"{delay_scale(PVTCondition(process=1.08)):.3f}"),
+            ("fast corner (-8 %)",
+             f"{delay_scale(PVTCondition(process=0.92)):.3f}"),
+        ])
+
+    # watch the LUT follow a thermal ramp
+    lut = SlackLUT()
+    recal = PVTRecalibrator(lut, SCENARIOS["thermal-ramp"],
+                            interval=50_000)
+    rows = []
+    for cycle in range(0, 400_001, 50_000):
+        recal.tick(cycle)
+        event = recal.events[-1]
+        logic = lut.buckets()[3]          # the logic bucket address
+        worst = max(lut.buckets().values())
+        rows.append((cycle, f"{event.true_scale:.3f}",
+                     f"{event.sensed_scale:.3f}", logic, worst))
+    print_table("Thermal ramp: LUT EX-TIMEs tracking the CPM",
+                ["cycle", "true scale", "sensed", "logic bucket",
+                 "worst bucket"], rows)
+
+    rows = []
+    for name, scenario in SCENARIOS.items():
+        report = recalibration_report(scenario, cycles=200_000)
+        rows.append((name, report["unsafe_windows"],
+                     f"{100 * report['retained_slack']:.1f}%"))
+    print_table("Recalibration safety per scenario (20 windows)",
+                ["scenario", "unsafe windows", "retained slack"], rows)
+    print("The CPM guard band keeps every non-droop scenario perfectly "
+          "safe;\nmid-window droops are the case Tribeca-style local "
+          "recovery handles.")
+
+
+if __name__ == "__main__":
+    main()

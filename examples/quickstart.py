@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: write a kernel, run it on a baseline core and on ReDSOC.
+
+Builds a small CRC-like loop with the assembler API, simulates it on the
+paper's BIG core with and without slack recycling, and reports the
+speedup plus the recycling statistics that explain it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BIG, RecycleMode, simulate
+from repro.isa import Asm, Cond, r
+
+
+def build_kernel():
+    """A dependent logic/shift chain — prime slack-recycling material."""
+    a = Asm("quickstart")
+    a.mov(r(1), 0xDEADBEEF)     # working value
+    a.mov(r(2), 2000)           # loop count
+    a.label("loop")
+    a.eor(r(1), r(1), 0x5A5A)   # each op depends on the previous one
+    a.ror(r(1), r(1), 7)
+    a.orr(r(1), r(1), 0x10)
+    a.add(r(1), r(1), 0x33)
+    a.subs(r(2), r(2), 1)
+    a.b("loop", cond=Cond.NE)
+    a.halt()
+    return a.finish()
+
+
+def main():
+    program = build_kernel()
+
+    baseline = simulate(program, BIG.with_mode(RecycleMode.BASELINE))
+    redsoc = simulate(program, BIG.with_mode(RecycleMode.REDSOC))
+
+    speedup = baseline.cycles / redsoc.cycles - 1
+    print(f"program           : {program.name} "
+          f"({baseline.stats.committed} dynamic instructions)")
+    print(f"baseline          : {baseline.cycles} cycles "
+          f"(IPC {baseline.ipc:.2f})")
+    print(f"ReDSOC            : {redsoc.cycles} cycles "
+          f"(IPC {redsoc.ipc:.2f})")
+    print(f"speedup           : {speedup:.1%}")
+    print()
+    stats = redsoc.stats
+    print(f"recycled ops      : {stats.recycled_ops} "
+          f"(started mid-cycle off a producer's completion instant)")
+    print(f"eager (GP) issues : {stats.eager_issues}")
+    print(f"2-cycle FU holds  : {stats.two_cycle_holds}")
+    print(f"transparent seq EV: {stats.seq_expected_length:.2f} ops")
+
+    # slack recycling must never change architectural results
+    assert (baseline.stats.committed == redsoc.stats.committed)
+    print("\narchitectural-equivalence check passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""ReDSOC reproduction: Recycling Data Slack in Out-of-Order Cores.
+
+A full-system reproduction of Ravi & Lipasti's HPCA 2019 paper: an
+ARM-flavoured micro-op ISA, a structural circuit-timing model, a
+cycle-level out-of-order core with transparent slack recycling
+(slack LUT, width/last-arrival predictors, eager grandparent wakeup,
+skewed selection), cache hierarchy, comparator baselines (timing
+speculation, operation fusion), the paper's three workload suites, and
+benches regenerating every evaluation table and figure.
+
+Quickstart::
+
+    from repro import simulate, BIG, RecycleMode
+    from repro.workloads import bitcount
+
+    program = bitcount(100)
+    base = simulate(program, BIG.with_mode(RecycleMode.BASELINE))
+    red = simulate(program, BIG.with_mode(RecycleMode.REDSOC))
+    print(f"speedup: {base.cycles / red.cycles - 1:.1%}")
+"""
+
+from .core import (
+    BIG,
+    CORES,
+    CoreConfig,
+    CoreSimulator,
+    MEDIUM,
+    RecycleMode,
+    SMALL,
+    SchedulerDesign,
+    SimResult,
+    SlackLUT,
+    simulate,
+)
+from .pipeline.trace import Trace, generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BIG", "CORES", "CoreConfig", "CoreSimulator", "MEDIUM",
+    "RecycleMode", "SMALL", "SchedulerDesign", "SimResult", "SlackLUT",
+    "Trace", "generate_trace", "simulate",
+]

@@ -1,0 +1,57 @@
+"""Power-savings conversion via V/F scaling (Sec. VI-C).
+
+The paper converts ReDSOC's speedup into power savings at *baseline*
+performance: if the mechanism makes the core X% faster at the same
+frequency, the frequency (and with it the voltage) can instead be
+lowered until performance matches the baseline, and the saved power is
+reported.  Scaling is modelled on an ARM Cortex-A57-style DVFS curve
+(the AnandTech A57 characterisation the paper cites): voltage scales
+roughly linearly with frequency across the operating range, and dynamic
+power follows ``P = C·V²·f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DVFSModel:
+    """A57-like operating range at 28/20 nm-class technology."""
+
+    f_nominal_ghz: float = 2.0
+    f_min_ghz: float = 0.8
+    v_nominal: float = 1.10
+    v_min: float = 0.80
+    #: fraction of total core power that is leakage (scales ~V, not V²f)
+    leakage_fraction: float = 0.25
+
+    def voltage_at(self, f_ghz: float) -> float:
+        """Linear V/f interpolation over the DVFS range (clamped)."""
+        f = min(max(f_ghz, self.f_min_ghz), self.f_nominal_ghz)
+        span = (f - self.f_min_ghz) / (self.f_nominal_ghz - self.f_min_ghz)
+        return self.v_min + span * (self.v_nominal - self.v_min)
+
+    def relative_power(self, f_ghz: float) -> float:
+        """Total power at *f_ghz* relative to the nominal point."""
+        f = min(max(f_ghz, self.f_min_ghz), self.f_nominal_ghz)
+        v = self.voltage_at(f)
+        dyn = (v / self.v_nominal) ** 2 * (f / self.f_nominal_ghz)
+        leak = v / self.v_nominal
+        return ((1.0 - self.leakage_fraction) * dyn
+                + self.leakage_fraction * leak)
+
+
+def power_savings_from_speedup(speedup: float, *,
+                               model: DVFSModel = DVFSModel()) -> float:
+    """Fractional power saved running ReDSOC at iso-performance.
+
+    ``speedup`` is fractional (0.10 = 10 % faster).  The frequency is
+    scaled down by 1/(1+speedup) so wall-clock performance matches the
+    baseline, and the resulting relative power is compared against
+    nominal.
+    """
+    if speedup < 0:
+        return 0.0
+    f_new = model.f_nominal_ghz / (1.0 + speedup)
+    return 1.0 - model.relative_power(f_new)

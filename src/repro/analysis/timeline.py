@@ -1,0 +1,89 @@
+"""ASCII timeline rendering of transparent execution (Fig. 4 / Fig. 5).
+
+Turns a list of execution windows into the kind of tick-level diagram
+the paper uses to explain slack recycling::
+
+    cycle        |0.......|1.......|2.......|
+    x1  eor      |        |###     |        |
+    x2  add      |        |   #####|##      | (holds FU 2 cycles)
+    x3  ror      |        |        |  ####  |
+
+Each ``#`` is one tick of real computation; the vertical bars are clock
+edges.  Used by the examples and handy when debugging scheduler changes:
+``render_uops`` works directly off the auditor's recorded uop log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.ticks import DEFAULT_TICK_BASE, TickBase
+
+
+@dataclass(frozen=True)
+class Window:
+    """One operation's execution window, in absolute ticks."""
+
+    label: str
+    start_tick: int
+    end_tick: int
+    note: str = ""
+
+
+def render_windows(windows: Sequence[Window], *,
+                   base: TickBase = DEFAULT_TICK_BASE,
+                   from_cycle: Optional[int] = None,
+                   to_cycle: Optional[int] = None) -> str:
+    """Render *windows* as an aligned tick diagram."""
+    if not windows:
+        return "(no windows)"
+    tpc = base.ticks_per_cycle
+    lo = (from_cycle if from_cycle is not None
+          else min(w.start_tick for w in windows) // tpc)
+    hi = (to_cycle if to_cycle is not None
+          else (max(w.end_tick for w in windows) + tpc - 1) // tpc)
+    span = range(lo, hi)
+    label_width = max(len(w.label) for w in windows) + 2
+
+    def ruler() -> str:
+        cells = []
+        for cycle in span:
+            digits = str(cycle)[:tpc]
+            cells.append("|" + digits + "." * (tpc - len(digits)))
+        return " " * label_width + "".join(cells) + "|"
+
+    lines = [ruler()]
+    for window in windows:
+        row = []
+        for cycle in span:
+            row.append("|")
+            for tick in range(cycle * tpc, (cycle + 1) * tpc):
+                row.append("#" if window.start_tick <= tick < window.end_tick
+                           else " ")
+        line = window.label.ljust(label_width) + "".join(row) + "|"
+        if window.note:
+            line += f" ({window.note})"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_uops(uops: Iterable, *, base: TickBase = DEFAULT_TICK_BASE,
+                limit: int = 24, from_cycle: Optional[int] = None,
+                to_cycle: Optional[int] = None) -> str:
+    """Render recorded simulator uops (e.g. the audit log) directly."""
+    windows: List[Window] = []
+    for uop in uops:
+        if len(windows) >= limit:
+            break
+        note = []
+        if uop.extra_cycle_hold:
+            note.append("holds FU 2 cycles")
+        if uop.gp_issued:
+            note.append("eager issue")
+        windows.append(Window(
+            label=f"#{uop.seq} {uop.instr.op.name.lower()}",
+            start_tick=uop.start_tick, end_tick=uop.end_tick,
+            note=", ".join(note)))
+    return render_windows(windows, base=base, from_cycle=from_cycle,
+                          to_cycle=to_cycle)

@@ -1,0 +1,6 @@
+"""Comparator systems from Sec. VI-D: timing speculation and fusion."""
+
+from .mos import simulate_mos
+from .ts import TSConfig, TSResult, analyze_ts
+
+__all__ = ["TSConfig", "TSResult", "analyze_ts", "simulate_mos"]

@@ -1,0 +1,30 @@
+"""Operation-fusion comparator — Sec. VI-D's "MOS".
+
+MOS ("Multiple Operations in a Single cycle") dynamically combines
+dependent operations into one clock cycle when their computation times
+fit together — e.g. two consecutive logical operations (roughly 50–55 %
+data slack each) can execute back-to-back within a single period.
+
+Unlike ReDSOC, MOS
+
+* cannot let execution *cross* a clock edge (no transparent FFs, so the
+  fused pair must latch at the next edge), and
+* therefore cannot accumulate sub-cycle slack across long sequences —
+  a chain of 5-tick shifts (10 ticks a pair) simply does not fit.
+
+MOS runs inside the main timing engine as
+:data:`~repro.core.config.RecycleMode.MOS`: the same eager co-issue
+machinery supplies the partner op, and the fit check replaces the slack
+threshold (see :func:`repro.core.scheduler.eager_issue_allowed`).  This
+module is the convenience entry point used by the comparison benches.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import CoreConfig, RecycleMode
+from repro.core.cpu import SimResult, simulate
+
+
+def simulate_mos(workload, config: CoreConfig) -> SimResult:
+    """Run *workload* under the MOS fusion model on *config*'s core."""
+    return simulate(workload, config.with_mode(RecycleMode.MOS))

@@ -1,0 +1,111 @@
+"""Timing-speculation (Razor-style) comparator — Sec. VI-D's "TS".
+
+The paper's TS baseline statically raises the clock frequency as far as
+the application's timing-error rate allows (kept between 0.01 % and
+1 %), with recovery cost *not* modelled — i.e. deliberately optimistic.
+
+We reproduce that analytically.  For a given trace we build the
+distribution of per-cycle path delays the speculative clock must cover:
+
+* every single-cycle ALU/SIMD operation contributes its *actual* raw
+  combinational delay (from the structural timing model, at the true
+  operand width — TS sees real data, not predictions);
+* every memory operation contributes an AGU + cache-stage delay, every
+  multi-cycle op its pipeline-stage delay, and every cycle contributes
+  fetch/scheduler stage samples — these conventional stages were
+  designed *to* the clock and retain only a small design margin, which
+  is exactly why the paper argues TS must be configured conservatively
+  ("bounded by the possibility of timing errors from every computation,
+  in every synchronous EU/op-stage, and on every clock cycle").
+
+The speculative period is the smallest that keeps the fraction of
+violating samples within the error budget; the reported speedup is the
+full frequency ratio (optimistic: memory latencies would really stay
+constant in nanoseconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.isa.opcodes import OpClass, SIMD_SINGLE_CYCLE_OPS
+from repro.pipeline.trace import Trace
+from repro.timing.alu_timing import scalar_op_delay_ps
+from repro.timing.gates import DEFAULT_TECH, TechParams
+from repro.timing.simd_timing import simd_op_delay_ps
+
+
+@dataclass(frozen=True)
+class TSConfig:
+    """Knobs of the analytic TS model."""
+
+    #: acceptable timing-error rate (paper window: 1e-4 .. 1e-2);
+    #: the default sits at the aggressive end — optimistic for TS
+    error_budget: float = 1e-2
+    #: conventional-stage delay as a fraction of the clock: fetch,
+    #: scheduler-select, cache SRAM and FP/MUL pipeline stages are
+    #: designed to the cycle and keep only this much margin (the
+    #: scheduling loop is "near timing critical", Sec. IV-E)
+    stage_margin: float = 0.02
+    #: AGU delay: a full-width effective-address add
+    agu_margin: float = 0.20
+    tech: TechParams = DEFAULT_TECH
+
+
+@dataclass
+class TSResult:
+    """Outcome of the TS analysis for one trace."""
+
+    period_ps: float
+    error_rate: float
+    speedup: float
+
+
+def _delay_samples(trace: Trace, config: TSConfig) -> List[float]:
+    """Per-cycle critical-delay samples the speculative clock must cover."""
+    tech = config.tech
+    setup = tech.setup_ps
+    stage = tech.clock_ps * (1.0 - config.stage_margin)
+    agu = tech.clock_ps * (1.0 - config.agu_margin)
+    samples: List[float] = []
+    for entry in trace.entries:
+        instr = entry.instr
+        cls = instr.cls
+        if cls is OpClass.ALU:
+            samples.append(setup + scalar_op_delay_ps(
+                instr.op, effective_width=entry.op_width,
+                flex_shift=instr.has_flexible_shift()))
+        elif cls is OpClass.SIMD and instr.op in SIMD_SINGLE_CYCLE_OPS:
+            samples.append(setup + simd_op_delay_ps(instr.op, instr.dtype))
+        elif cls in (OpClass.LOAD, OpClass.STORE):
+            samples.append(agu)
+            samples.append(stage)      # cache SRAM access stage
+        elif cls in (OpClass.MUL, OpClass.DIV, OpClass.FP,
+                     OpClass.SIMD):
+            samples.append(stage)      # multi-cycle pipeline stage
+        elif cls is OpClass.BRANCH:
+            samples.append(stage)      # fetch/redirect stage
+    # front-end + scheduler stages toggle every cycle; approximate one
+    # sample per instruction (sustained IPC ~1 lower bound keeps this
+    # conservative toward TS)
+    samples.extend([stage] * len(trace.entries))
+    return samples
+
+
+def analyze_ts(trace: Trace, config: TSConfig = TSConfig()) -> TSResult:
+    """Best static TS operating point for *trace*.
+
+    Finds the smallest clock period whose violation rate stays within
+    the error budget and reports the frequency-ratio speedup.
+    """
+    samples = sorted(_delay_samples(trace, config), reverse=True)
+    total = len(samples)
+    budget = max(0, int(config.error_budget * total) - 1)
+    # the (budget+1)-th largest sample must fit: every larger one errors
+    period = samples[budget] if budget < total else samples[-1]
+    period = min(period, config.tech.clock_ps)
+    violations = sum(1 for s in samples if s > period)
+    return TSResult(period_ps=period,
+                    error_rate=violations / total if total else 0.0,
+                    speedup=config.tech.clock_ps / period - 1.0)

@@ -1,0 +1,160 @@
+"""Post-run invariant auditing of the timing engine.
+
+The simulator's correctness rests on a handful of timing invariants
+that must hold for *every* issued operation, whatever the mode:
+
+1. **arrival** — computation never starts before the op's FU-arrival
+   edge (``issue + latency`` cycles);
+2. **dataflow** — computation never starts before every source value is
+   usable (transparent CI for transparent hand-offs, the latching edge
+   otherwise): recycling must stay timing non-speculative;
+3. **window** — ``end == start + EX-TIME``, with EX-TIME at least the
+   conservatively-quantised bucket time;
+4. **discipline** — non-transparent ops start exactly on clock edges;
+   baseline mode never starts anything mid-cycle;
+5. **capacity** — per cycle, each FU class never holds more operations
+   (including 2-cycle holds) than it has units;
+6. **completeness** — every trace entry commits exactly once.
+
+:func:`audit_run` executes a trace under an instrumented simulator,
+re-derives all of the above from the recorded per-uop timing, and
+returns the violations (an empty list is the pass condition).  The
+integration tests sweep it across workloads, modes and cores — any
+scheduler regression that breaks a timing rule surfaces here even when
+cycle counts still look plausible.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.config import CoreConfig, RecycleMode
+from repro.core.cpu import CoreSimulator, SimResult
+from repro.core.scheduler import consumer_avail_tick
+from repro.isa.opcodes import OpClass
+from repro.pipeline.trace import Trace
+from repro.pipeline.uop import Uop
+
+
+@dataclass
+class AuditViolation:
+    rule: str
+    seq: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] uop#{self.seq}: {self.detail}"
+
+
+@dataclass
+class AuditResult:
+    result: SimResult
+    violations: List[AuditViolation] = field(default_factory=list)
+    audited_uops: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class _RecordingSimulator(CoreSimulator):
+    """CoreSimulator that keeps every issued uop for post-run checks."""
+
+    def __init__(self, trace: Trace, config: CoreConfig) -> None:
+        super().__init__(trace, config)
+        self.issued_log: List[Uop] = []
+
+    def _finalize_issue(self, uop, cycle, timing, *, eager=False):
+        super()._finalize_issue(uop, cycle, timing, eager=eager)
+        self.issued_log.append(uop)
+
+
+def audit_run(trace: Trace, config: CoreConfig) -> AuditResult:
+    """Simulate *trace* under *config* and audit every invariant."""
+    sim = _RecordingSimulator(trace, config)
+    result = sim.run()
+    base = sim.base
+    violations: List[AuditViolation] = []
+
+    def flag(rule: str, uop: Uop, detail: str) -> None:
+        violations.append(AuditViolation(rule, uop.seq, detail))
+
+    occupancy: Dict[OpClass, Dict[int, int]] = defaultdict(
+        lambda: defaultdict(int))
+
+    for uop in sim.issued_log:
+        cls = uop.entry.instr.cls
+        is_mem = cls in (OpClass.LOAD, OpClass.STORE)
+
+        # 1. arrival: no computation before the FU-arrival edge (replays
+        # restart from later edges, which is also legal)
+        arrival_edge = base.cycle_start(uop.issue_cycle
+                                        + uop.latency_cycles)
+        if uop.start_tick < arrival_edge:
+            flag("arrival", uop,
+                 f"start {uop.start_tick} before arrival edge "
+                 f"{arrival_edge}")
+
+        # 2. dataflow: operands must be usable at the start instant
+        if not is_mem:
+            for src in uop.sources:
+                if src.issue_cycle is None:
+                    flag("dataflow", uop,
+                         f"source #{src.seq} never issued")
+                    continue
+                avail = consumer_avail_tick(src, uop)
+                if uop.start_tick < avail:
+                    flag("dataflow", uop,
+                         f"start {uop.start_tick} before source "
+                         f"#{src.seq} avail {avail}")
+
+        # 3. window: end = start + EX-TIME (scheduled, or the true
+        # width's EX-TIME after an aggressive-misprediction replay)
+        if not is_mem and uop.end_tick not in (
+                uop.start_tick + uop.ex_ticks,
+                uop.start_tick + uop.actual_ex_ticks):
+            flag("window", uop,
+                 f"end {uop.end_tick} inconsistent with start "
+                 f"{uop.start_tick} + ex {uop.ex_ticks}")
+
+        # 4. discipline
+        mid_cycle = uop.start_tick % base.ticks_per_cycle != 0
+        if mid_cycle and not uop.transparent:
+            flag("discipline", uop,
+                 "non-transparent op started mid-cycle")
+        if (mid_cycle
+                and config.mode is RecycleMode.BASELINE):
+            flag("discipline", uop, "baseline op started mid-cycle")
+        if (mid_cycle and config.mode is RecycleMode.MOS
+                and uop.extra_cycle_hold):
+            flag("discipline", uop, "MOS op crossed a clock edge")
+
+        # 5. capacity bookkeeping
+        start_cycle = base.cycle_of(uop.start_tick)
+        occupancy[uop.fu_class][start_cycle] += 1
+        if uop.extra_cycle_hold:
+            occupancy[uop.fu_class][start_cycle + 1] += 1
+
+    pools = {cls: pool.count for cls, pool in sim.res.pools.items()}
+    for cls, cycles in occupancy.items():
+        limit = pools.get(cls)
+        if limit is None:
+            continue
+        for cycle, used in cycles.items():
+            if used > limit:
+                violations.append(AuditViolation(
+                    "capacity", -1,
+                    f"{cls.value} used {used}/{limit} units in cycle "
+                    f"{cycle}"))
+
+    # 6. completeness
+    if result.stats.committed != len(trace.entries):
+        violations.append(AuditViolation(
+            "completeness", -1,
+            f"committed {result.stats.committed} of "
+            f"{len(trace.entries)}"))
+
+    return AuditResult(result=result, violations=violations,
+                       audited_uops=len(sim.issued_log))

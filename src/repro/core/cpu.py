@@ -1,0 +1,797 @@
+"""Cycle-level out-of-order core with ReDSOC slack recycling.
+
+:class:`CoreSimulator` replays a dynamic :class:`~repro.pipeline.trace.Trace`
+through the Table-I pipeline structures at cycle + 1/8-cycle resolution.
+Per simulated cycle it performs, in order:
+
+1. **commit** — in-order retirement from the ROB head (stores drain to
+   the cache hierarchy here);
+2. **schedule** — wakeup/select: a conventional oldest-first pass per FU
+   class (phase P), then the Eager-Grandparent pass (phase GP) that
+   issues children *in the same cycle as their parents* to recycle slack
+   (skewed selection: GP grants only consume units left over by
+   conventional requests — Sec. IV-D);
+3. **dispatch** — rename (RAT), ROB/RS/LSQ allocation, slack-LUT read and
+   width prediction (decode-side work is folded in here);
+4. **fetch** — trace-ordered fetch with gshare prediction; mispredicted
+   conditional branches block fetch until they resolve plus the redirect
+   penalty.
+
+The same engine runs all three modes (BASELINE / REDSOC / MOS) and all
+ablations (illustrative vs operational RSE, skewed vs plain selection,
+slack threshold, CI precision), so comparisons differ *only* in the
+mechanism under test.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.stats import HIGH_SLACK_FRACTION, SimStats
+from repro.isa.opcodes import (
+    ARITH_OPS,
+    Cond,
+    OpClass,
+    Opcode,
+    SIMD_ACCUMULATE_OPS,
+    SIMD_SINGLE_CYCLE_OPS,
+)
+from repro.isa.program import Program
+from repro.isa.semantics import width_bucket
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.branch import GsharePredictor
+from repro.pipeline.resources import ExecutionResources
+from repro.pipeline.trace import Trace, TraceEntry, generate_trace
+from repro.pipeline.uop import Uop, UopState
+
+from .config import CoreConfig, RecycleMode, SchedulerDesign
+from .last_arrival import LastArrivalPredictor
+from .scheduler import (
+    ReadyQueues,
+    constraining_parent,
+    eager_issue_allowed,
+    last_source_avail,
+    other_sources_ready,
+    unissued_sources,
+    wake_cycle,
+)
+from .slack_lut import SlackLUT
+from .ticks import TickBase
+from .transparent import SequenceTracker, resolve_execution
+from .width_predictor import WidthPredictor
+
+
+@dataclass
+class SimResult:
+    """Outcome of one timing simulation."""
+
+    name: str
+    config: CoreConfig
+    stats: SimStats
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+class CoreSimulator:
+    """One core simulating one trace (single-use object)."""
+
+    def __init__(self, trace: Trace, config: CoreConfig) -> None:
+        self.trace = trace
+        self.config = config
+        self.base = TickBase(config.ticks_per_cycle, config.tech)
+        self.lut = SlackLUT(self.base, pvt_scale=config.pvt_scale)
+        self.width_pred = WidthPredictor()
+        self.la_pred = LastArrivalPredictor()
+        self.branch_pred = GsharePredictor()
+        self.mem = MemoryHierarchy(config.memory)
+        self.res = ExecutionResources(
+            alu=config.alu_units, simd=config.simd_units,
+            fp=config.fp_units, mem_ports=config.mem_ports,
+            branch_units=config.branch_units,
+            complex_units=config.complex_units)
+        self.ready = ReadyQueues()
+        self.sequences = SequenceTracker()
+        self.stats = SimStats()
+
+        self._fetch_idx = 0
+        self._fetch_queue: deque = deque()
+        self._fetch_resume = 0
+        self._blocked_on_seq: Optional[int] = None
+        self._rob: deque = deque()
+        self._rat: Dict = {}
+        #: stores dispatched but not yet committed (LSQ store half)
+        self._inflight_stores: List[Uop] = []
+        self._live_stores: List[Uop] = []
+        self._rs_used = 0
+        self._lsq_used = 0
+        self._committed = 0
+        self.cycle = 0
+
+        # dynamic slack-threshold controller (Sec. IV-C): hill-climbs
+        # the threshold by probing neighbouring settings for a window
+        # each and keeping whichever committed the most instructions
+        self._threshold = config.slack_threshold
+        self._probe_plan: List[int] = []
+        self._probe_results: List = []
+        self._window_start_committed = 0
+        self._exploit_left = 0
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        total = len(self.trace.entries)
+        limit = 200 * total + 100_000
+        while self._committed < total:
+            self._step()
+            if self.cycle > limit:
+                raise RuntimeError(
+                    f"simulation wedged: {self._committed}/{total} committed "
+                    f"after {self.cycle} cycles (trace {self.trace.name!r})")
+        self._finalize()
+        return SimResult(name=self.trace.name, config=self.config,
+                         stats=self.stats)
+
+    def _step(self) -> None:
+        cycle = self.cycle
+        self.ready.advance_to(cycle)
+        self._commit(cycle)
+        self._schedule(cycle)
+        self._dispatch(cycle)
+        self._fetch(cycle)
+        self.stats.cycles += 1
+        if cycle and cycle % 4096 == 0:
+            self.res.release_past(cycle)
+        if (self.config.adaptive_threshold
+                and self.config.mode is RecycleMode.REDSOC
+                and cycle and cycle % self.config.threshold_window == 0):
+            self._adapt_threshold()
+        self.cycle += 1
+
+    #: how many exploit windows follow one probe sweep
+    _EXPLOIT_WINDOWS = 20
+
+    def _adapt_threshold(self) -> None:
+        """One step of the dynamic threshold controller.
+
+        Sweeps a coarse grid of thresholds (one window each), adopts the
+        setting that retired the most instructions, exploits it for
+        several windows, then re-probes — the run-time realisation of
+        the paper's per-application-set threshold tuning (Sec. IV-C).
+        """
+        done = self._committed - self._window_start_committed
+        self._window_start_committed = self._committed
+        self._probe_results.append((done, self._threshold))
+        if self._probe_plan:
+            self._threshold = self._probe_plan.pop(0)
+            return
+        if len(self._probe_results) > 1:
+            # a sweep just finished: keep the best-performing setting
+            self._threshold = max(self._probe_results)[1]
+            self._probe_results = []
+            self._exploit_left = self._EXPLOIT_WINDOWS
+            return
+        self._probe_results = []
+        self._exploit_left -= 1
+        if self._exploit_left <= 0:
+            full = self.base.ticks_per_cycle
+            grid = sorted({0, full // 4, full // 2, 3 * full // 4,
+                           full - 1})
+            self._probe_plan = [t for t in grid if t != self._threshold]
+            self._probe_results = [(done, self._threshold)]
+            self._threshold = self._probe_plan.pop(0)
+
+    def _finalize(self) -> None:
+        stats = self.stats
+        stats.width_aggressive_rate = self.width_pred.stats.aggressive_rate
+        stats.width_accuracy = self.width_pred.stats.accuracy
+        stats.la_misprediction_rate = self.la_pred.stats.misprediction_rate
+        stats.la_predictions = self.la_pred.stats.predictions
+        stats.la_mispredictions = self.la_pred.stats.mispredictions
+        stats.seq_expected_length = self.sequences.expected_length()
+        stats.seq_mean_length = self.sequences.mean_length()
+        stats.num_sequences = self.sequences.num_sequences
+        stats.branches = self.branch_pred.stats.predictions
+        stats.branch_mispredicts = self.branch_pred.stats.mispredictions
+
+    # ------------------------------------------------------------------
+    # commit
+    # ------------------------------------------------------------------
+
+    def _commit(self, cycle: int) -> None:
+        committed = 0
+        while self._rob and committed < self.config.front_width:
+            uop = self._rob[0]
+            if (uop.state is not UopState.ISSUED
+                    or uop.done_cycle is None or uop.done_cycle > cycle):
+                break
+            entry = uop.entry
+            if entry.is_store:
+                latency = self.mem.store_latency(entry.mem_addr, entry.pc)
+                uop.mem_hl = latency > self.mem.config.l1_latency
+                if uop in self._live_stores:
+                    self._live_stores.remove(uop)
+                if uop in self._inflight_stores:
+                    self._inflight_stores.remove(uop)
+            if entry.instr.is_mem():
+                self._lsq_used -= 1
+            self._classify(uop)
+            uop.state = UopState.COMMITTED
+            self._rob.popleft()
+            self._committed += 1
+            self.stats.committed += 1
+            committed += 1
+
+    def _classify(self, uop: Uop) -> None:
+        cls = uop.entry.instr.cls
+        dist = self.stats.distribution
+        if cls in (OpClass.LOAD, OpClass.STORE):
+            dist.add("MEM-HL" if uop.mem_hl else "MEM-LL")
+        elif cls is OpClass.SIMD:
+            dist.add("SIMD")
+        elif cls in (OpClass.MUL, OpClass.DIV, OpClass.FP):
+            dist.add("OtherMulti")
+        elif cls is OpClass.ALU:
+            slack = 1.0 - uop.actual_ex_ticks / self.base.ticks_per_cycle
+            dist.add("ALU-HS" if slack > HIGH_SLACK_FRACTION else "ALU-LS")
+        # branches / NOPs are control overhead, not a Fig. 10 class
+
+    # ------------------------------------------------------------------
+    # schedule (wakeup / select / execute-timing)
+    # ------------------------------------------------------------------
+
+    def _schedule(self, cycle: int) -> None:
+        issued_now: List[Uop] = []
+        stalled = False
+        for op_class, pool in self.res.pools.items():
+            pending = self.ready.pending(op_class)
+            if not pending:
+                continue
+            for uop in list(pending):
+                if pool.free_at(cycle + uop.latency_cycles) <= 0:
+                    stalled = True
+                    break
+                outcome = self._try_issue(uop, cycle)
+                if outcome == "issued":
+                    issued_now.append(uop)
+                elif outcome == "stall":
+                    stalled = True
+                    break
+                # "replayed" → removed from pending, rescheduled later
+        if self.config.mode is not RecycleMode.BASELINE:
+            if self.config.skewed_select:
+                self._gp_phase(cycle, issued_now)
+            else:
+                self._gp_phase_unskewed(cycle, issued_now)
+        if stalled:
+            self.stats.fu_stall_cycles += 1
+
+    def _try_issue(self, uop: Uop, cycle: int, *,
+                   eager: bool = False) -> str:
+        """Attempt to issue *uop*; returns 'issued' | 'stall' | 'replayed'."""
+        base = self.base
+        arrival = cycle + uop.latency_cycles
+        pool = self.res.pool_for(uop.fu_class)
+
+        unissued = unissued_sources(uop)
+        if uop.entry.instr.is_mem() and (
+                uop.entry.instr.cls is OpClass.LOAD):
+            older = self._unissued_older_store(uop)
+            if older is not None:
+                unissued = unissued + [older]
+        if unissued:
+            # issued off the wrong (predicted-last) tag: selective reissue
+            self._replay_on_sources(uop, unissued, cycle)
+            if pool.can_reserve(arrival):
+                pool.reserve(arrival)  # the wasted grant still burnt a slot
+            return "replayed"
+
+        if uop.entry.instr.cls is OpClass.LOAD:
+            return self._issue_load(uop, cycle)
+        if uop.entry.instr.cls is OpClass.STORE:
+            return self._issue_store(uop, cycle)
+
+        source_avail = last_source_avail(uop, base)
+        timing = resolve_execution(
+            arrival_cycle=arrival, source_avail=source_avail,
+            ex_ticks=uop.ex_ticks, transparent=uop.transparent, base=base)
+        if (self.config.mode is RecycleMode.MOS and timing.recycled
+                and timing.extra_cycle_hold):
+            # MOS cannot cross a clock edge: fall back to a normal start
+            timing = resolve_execution(
+                arrival_cycle=arrival, source_avail=source_avail,
+                ex_ticks=uop.ex_ticks, transparent=False, base=base)
+
+        if timing.start_tick >= base.cycle_start(arrival + 1):
+            # an (unwatched but issued) operand lands after our window
+            self._replay_late(uop, cycle)
+            if pool.can_reserve(arrival):
+                pool.reserve(arrival)
+            return "replayed"
+
+        aggressive = False
+        if uop.width_applied:
+            aggressive = (width_bucket(uop.entry.op_width)
+                          > uop.predicted_width)
+        if aggressive:
+            # correctness hazard: conservative re-execution from a later
+            # clock edge with the true (wider) EX-TIME
+            timing = resolve_execution(
+                arrival_cycle=arrival + self.config.replay_penalty,
+                source_avail=source_avail,
+                ex_ticks=uop.actual_ex_ticks, transparent=False, base=base)
+            self.stats.width_replays += 1
+
+        occupy = base.cycle_of(timing.start_tick)
+        if (timing.extra_cycle_hold
+                and not pool.can_reserve(occupy, extra_cycle=True)):
+            # the 2-cycle hold cannot be afforded: fall back to an
+            # opaque (edge-aligned) start — the FF simply stays closed,
+            # costing only the unrecycled slack (never worse than MOS)
+            fallback = resolve_execution(
+                arrival_cycle=arrival, source_avail=source_avail,
+                ex_ticks=uop.ex_ticks, transparent=False, base=base)
+            fb_cycle = base.cycle_of(fallback.start_tick)
+            if not pool.can_reserve(fb_cycle,
+                                    extra_cycle=fallback.extra_cycle_hold):
+                return "stall"
+            timing = fallback
+            occupy = fb_cycle
+        elif not pool.can_reserve(occupy,
+                                  extra_cycle=timing.extra_cycle_hold):
+            return "stall"
+        pool.reserve(occupy, extra_cycle=timing.extra_cycle_hold)
+
+        self._train_predictors(uop)
+        self._finalize_issue(uop, cycle, timing, eager=eager)
+        return "issued"
+
+    def _train_predictors(self, uop: Uop) -> None:
+        if uop.width_applied:
+            self.width_pred.record_outcome(uop.predicted_width,
+                                           uop.entry.op_width)
+            self.width_pred.update(uop.entry.pc, uop.entry.op_width)
+        if uop.la_applied and len(uop.sources) >= 2:
+            first, second = uop.sources[0], uop.sources[1]
+            c1 = first.issue_cycle if first.issue_cycle is not None else -1
+            c2 = second.issue_cycle if second.issue_cycle is not None else -1
+            if c1 == c2:
+                # simultaneous broadcast: either tag wakes correctly, so
+                # the prediction is right by construction and the table
+                # is left alone (no flip-flop noise)
+                self.la_pred.record_outcome(uop.second_predicted_last,
+                                            uop.second_predicted_last)
+            else:
+                second_last = c2 > c1
+                self.la_pred.record_outcome(uop.second_predicted_last,
+                                            second_last)
+                self.la_pred.update(uop.entry.pc, second_last)
+
+    def _finalize_issue(self, uop: Uop, cycle: int, timing, *,
+                        eager: bool) -> None:
+        base = self.base
+        uop.state = UopState.ISSUED
+        uop.issue_cycle = cycle
+        uop.start_tick = timing.start_tick
+        uop.end_tick = timing.end_tick
+        uop.avail_tick = timing.avail_tick
+        uop.sync_avail = timing.sync_avail_tick
+        uop.extra_cycle_hold = timing.extra_cycle_hold
+        uop.done_cycle = base.cycle_of(timing.sync_avail_tick)
+        self.res.stats.issues[uop.fu_class] += 1
+        if timing.extra_cycle_hold:
+            self.stats.two_cycle_holds += 1
+        if eager:
+            uop.gp_issued = True
+            self.stats.eager_issues += 1
+        if uop.transparent:
+            if timing.recycled:
+                self.stats.recycled_ops += 1
+                parent = constraining_parent(uop, timing.start_tick)
+                uop.chain_id = self.sequences.extend_chain(
+                    parent.chain_id if parent else None)
+            else:
+                uop.chain_id = self.sequences.start_chain()
+        self._rs_used -= 1
+        self.ready.remove(uop)
+        if uop.seq == self._blocked_on_seq:
+            self._fetch_resume = (cycle + uop.latency_cycles
+                                  + self.config.mispredict_penalty)
+            self._blocked_on_seq = None
+        self._notify_dependents(uop, cycle)
+
+    def _issue_load(self, uop: Uop, cycle: int) -> str:
+        base = self.base
+        arrival = cycle + 1
+        pool = self.res.pool_for(OpClass.LOAD)
+        if not pool.can_reserve(arrival):
+            return "stall"
+        addr_avail = last_source_avail(uop, base)
+        addr_cycle = max(arrival, base.cycle_of(base.next_edge(addr_avail)))
+        entry = uop.entry
+        latency = self.mem.load_latency(entry.mem_addr, entry.pc)
+        uop.mem_hl = latency > self.mem.config.l1_latency
+        fwd = self._forwarding_store(uop)
+        if fwd is not None:
+            data_cycle = max(addr_cycle + 1, (fwd.done_cycle or 0) + 1)
+        else:
+            data_cycle = addr_cycle + latency
+        pool.reserve(arrival)
+        timing = _LoadTiming(base, addr_cycle, data_cycle)
+        self._finalize_issue(uop, cycle, timing, eager=False)
+        return "issued"
+
+    def _issue_store(self, uop: Uop, cycle: int) -> str:
+        base = self.base
+        arrival = cycle + 1
+        pool = self.res.pool_for(OpClass.STORE)
+        if not pool.can_reserve(arrival):
+            return "stall"
+        pool.reserve(arrival)
+        timing = _StoreTiming(base, arrival)
+        self._finalize_issue(uop, cycle, timing, eager=False)
+        self._live_stores.append(uop)
+        return "issued"
+
+    def _forwarding_store(self, load: Uop) -> Optional[Uop]:
+        lo = load.entry.mem_addr
+        hi = lo + load.entry.mem_size
+        for store in reversed(self._live_stores):
+            if store.seq > load.seq:
+                continue
+            s_lo = store.entry.mem_addr
+            s_hi = s_lo + store.entry.mem_size
+            if s_lo < hi and lo < s_hi:
+                return store
+        return None
+
+    def _unissued_older_store(self, load: Uop) -> Optional[Uop]:
+        dep = load.order_dep
+        if dep is None or dep.issue_cycle is not None:
+            return None
+        return dep
+
+    def _replay_on_sources(self, uop: Uop, unissued: List[Uop],
+                           cycle: int) -> None:
+        uop.replayed = True
+        if uop.la_applied:
+            self.stats.la_replays += 1
+        uop.waiting_on = set(unissued)
+        uop.eligible_cycle = cycle + 1
+        self.ready.remove(uop)
+
+    def _replay_late(self, uop: Uop, cycle: int) -> None:
+        uop.replayed = True
+        if uop.la_applied:
+            self.stats.la_replays += 1
+        base = self.base
+        avail = last_source_avail(uop, base)
+        self.ready.remove(uop)
+        self.ready.schedule_wake(
+            uop, max(cycle + 1, base.cycle_of(avail) - 1))
+
+    def _notify_dependents(self, uop: Uop, cycle: int) -> None:
+        base = self.base
+        for dep in uop.dependents:
+            if uop not in dep.waiting_on:
+                continue
+            dep.waiting_on.discard(uop)
+            wake = wake_cycle(uop, dep, base)
+            if dep.eligible_cycle is None or wake > dep.eligible_cycle:
+                dep.eligible_cycle = wake
+            if not dep.waiting_on:
+                self.ready.schedule_wake(
+                    dep, max(dep.eligible_cycle, cycle + 1))
+
+    # -- eager grandparent phase ---------------------------------------
+
+    def _gp_candidates(self, cycle: int,
+                       issued_now: List[Uop]) -> List[Uop]:
+        seen: Set[int] = set()
+        candidates: List[Uop] = []
+        for parent in issued_now:
+            if not parent.transparent or parent.replayed:
+                continue
+            for child in parent.dependents:
+                if (child.seq in seen
+                        or child.state is not UopState.DISPATCHED
+                        or child.issue_cycle is not None
+                        or not child.transparent):
+                    continue
+                # eager co-issue only lines the child's execution stage
+                # up with the parent's when their latencies match (ALU
+                # with ALU, VMLA accumulate with VMLA accumulate)
+                if child.latency_cycles != parent.latency_cycles:
+                    continue
+                if not eager_issue_allowed(
+                        parent, child, mode=self.config.mode,
+                        threshold=self._threshold, base=self.base):
+                    continue
+                if not other_sources_ready(
+                        child, arrival_cycle=cycle + child.latency_cycles,
+                        base=self.base):
+                    continue
+                seen.add(child.seq)
+                candidates.append(child)
+        candidates.sort(key=lambda u: u.seq)
+        return candidates
+
+    def _gp_phase(self, cycle: int, issued_now: List[Uop]) -> None:
+        """Skewed selection: GP grants use only leftover FU capacity.
+
+        The spare-units guard keeps speculative issues (and their
+        possible 2-cycle holds) from starving next cycle's conventional
+        requests when the machine is throughput-bound — the simple
+        dynamic mechanism Sec. IV-C sketches around the slack threshold.
+        """
+        spare = self.config.eager_spare_units
+        for child in self._gp_candidates(cycle, issued_now):
+            pool = self.res.pool_for(child.fu_class)
+            if (pool.free_at(cycle + 1) <= spare
+                    or pool.free_at(cycle + 2) <= spare):
+                continue
+            self._try_issue(child, cycle, eager=True)
+
+    def _gp_phase_unskewed(self, cycle: int,
+                           issued_now: List[Uop]) -> None:
+        """Ablation: GP requests compete with conventional ones by age.
+
+        Conventional selection already ran; here GP candidates whose age
+        would have beaten a *denied* conventional request model the
+        paper's two failure cases: a wasted grant (no slack to recycle)
+        and GP-mispeculation (child granted without its parent).  We
+        approximate by letting GP candidates take slots but charging a
+        mispeculation whenever a still-pending conventional request is
+        older than the granted child.
+        """
+        spare = self.config.eager_spare_units
+        for child in self._gp_candidates(cycle, issued_now):
+            pool = self.res.pool_for(child.fu_class)
+            if (pool.free_at(cycle + 1) <= spare
+                    or pool.free_at(cycle + 2) <= spare):
+                continue
+            pending = self.ready.pending(child.fu_class)
+            older_pending = any(u.seq < child.seq for u in pending)
+            result = self._try_issue(child, cycle, eager=True)
+            if result == "issued" and older_pending:
+                self.stats.gp_mispeculations += 1
+                self.stats.wasted_gp_grants += 1
+
+    # ------------------------------------------------------------------
+    # dispatch (decode + rename + allocate)
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, cycle: int) -> None:
+        config = self.config
+        count = 0
+        stalled = False
+        while self._fetch_queue and count < config.front_width:
+            seq, entry = self._fetch_queue[0]
+            instr = entry.instr
+            if len(self._rob) >= config.rob_size:
+                stalled = True
+                break
+            needs_rs = instr.cls not in (OpClass.NOP, OpClass.HALT)
+            if needs_rs and self._rs_used >= config.rse_size:
+                stalled = True
+                break
+            if instr.is_mem() and self._lsq_used >= config.lsq_size:
+                stalled = True
+                break
+            self._fetch_queue.popleft()
+            self._dispatch_one(seq, entry, cycle)
+            count += 1
+        if stalled:
+            self.stats.dispatch_stall_cycles += 1
+
+    def _dispatch_one(self, seq: int, entry: TraceEntry,
+                      cycle: int) -> None:
+        uop = Uop(seq, entry)
+        instr = entry.instr
+        config = self.config
+        self._decode_timing(uop)
+
+        # rename: resolve register sources through the RAT
+        sources: List[Uop] = []
+        for reg in instr.sources():
+            producer = self._rat.get(reg)
+            if (producer is not None
+                    and producer.state is not UopState.COMMITTED
+                    and producer not in sources):
+                sources.append(producer)
+        uop.sources = sources
+
+        # memory disambiguation: a load waits (for issue) only on the
+        # youngest older store whose address range overlaps — oracle
+        # disambiguation, the limit behaviour of a store-set predictor
+        order_dep: Optional[Uop] = None
+        if instr.is_mem():
+            self._lsq_used += 1
+            if instr.cls is OpClass.STORE:
+                self._inflight_stores.append(uop)
+            else:
+                lo = entry.mem_addr
+                hi = lo + entry.mem_size
+                for store in reversed(self._inflight_stores):
+                    s_lo = store.entry.mem_addr
+                    if s_lo < hi and lo < s_lo + store.entry.mem_size:
+                        order_dep = store
+                        break
+        uop.order_dep = order_dep
+
+        watched = self._watched_sources(uop)
+        uop.waiting_on = {s for s in watched if s.issue_cycle is None}
+        if order_dep is not None and order_dep.issue_cycle is None:
+            uop.waiting_on.add(order_dep)
+
+        for producer in sources:
+            producer.dependents.append(uop)
+        if order_dep is not None and order_dep not in sources:
+            order_dep.dependents.append(uop)
+
+        for reg in instr.dests():
+            self._rat[reg] = uop
+
+        self._rob.append(uop)
+        if instr.cls in (OpClass.NOP, OpClass.HALT):
+            uop.state = UopState.ISSUED
+            uop.issue_cycle = cycle
+            uop.done_cycle = cycle
+            return
+        self._rs_used += 1
+
+        wake = cycle + 1
+        for src in watched:
+            if src.issue_cycle is not None:
+                wake = max(wake, wake_cycle(src, uop, self.base))
+        if order_dep is not None and order_dep.issue_cycle is not None:
+            wake = max(wake, wake_cycle(order_dep, uop, self.base))
+        uop.eligible_cycle = wake
+        if not uop.waiting_on:
+            self.ready.schedule_wake(uop, wake)
+
+    def _watched_sources(self, uop: Uop) -> List[Uop]:
+        """Which source tags the RSE actually watches (Sec. IV-C).
+
+        Baseline and the Illustrative design watch every source; the
+        Operational design watches only the predicted last-arriving
+        parent of two-source single-cycle transparent ops.
+        """
+        config = self.config
+        sources = uop.sources
+        if (config.mode is RecycleMode.BASELINE
+                or config.scheduler is SchedulerDesign.ILLUSTRATIVE
+                or not uop.transparent or len(sources) != 2):
+            return sources
+        second = self.la_pred.predict_second_last(uop.entry.pc)
+        uop.la_applied = True
+        uop.second_predicted_last = second
+        return [sources[1] if second else sources[0]]
+
+    def _decode_timing(self, uop: Uop) -> None:
+        """Decode-stage work: class, latency, EX-TIME, width prediction."""
+        instr = uop.entry.instr
+        op = instr.op
+        cls = instr.cls
+        config = self.config
+        mode = config.mode
+        full = self.base.ticks_per_cycle
+
+        if cls is OpClass.ALU:
+            uop.transparent = mode is not RecycleMode.BASELINE
+            if op in ARITH_OPS:
+                predicted = self.width_pred.predict(uop.entry.pc)
+                uop.width_applied = True
+                uop.predicted_width = predicted
+                uop.ex_ticks = self.lut.ex_time(instr, predicted)
+            else:
+                uop.ex_ticks = self.lut.ex_time(instr)
+            uop.actual_ex_ticks = self.lut.ex_time(instr,
+                                                   uop.entry.op_width)
+        elif cls is OpClass.SIMD:
+            if op in SIMD_SINGLE_CYCLE_OPS:
+                uop.transparent = mode is not RecycleMode.BASELINE
+                uop.ex_ticks = uop.actual_ex_ticks = self.lut.ex_time(instr)
+            elif op in SIMD_ACCUMULATE_OPS:
+                uop.transparent = mode is not RecycleMode.BASELINE
+                uop.latency_cycles = config.simd_multicycle_latency
+                uop.ex_ticks = uop.actual_ex_ticks = self.lut.ex_time(instr)
+            else:  # VMUL
+                uop.latency_cycles = config.simd_multicycle_latency
+                uop.ex_ticks = uop.actual_ex_ticks = full
+        elif cls is OpClass.MUL:
+            uop.latency_cycles = config.mul_latency
+            uop.ex_ticks = uop.actual_ex_ticks = full
+        elif cls is OpClass.DIV:
+            uop.latency_cycles = config.div_latency
+            uop.ex_ticks = uop.actual_ex_ticks = full
+        elif cls is OpClass.FP:
+            uop.latency_cycles = (config.fdiv_latency
+                                  if op is Opcode.FDIV
+                                  else config.fp_latency)
+            uop.ex_ticks = uop.actual_ex_ticks = full
+        elif cls is OpClass.BRANCH:
+            uop.ex_ticks = uop.actual_ex_ticks = full
+        else:  # LOAD / STORE / NOP / HALT
+            uop.ex_ticks = uop.actual_ex_ticks = full
+
+    # ------------------------------------------------------------------
+    # fetch
+    # ------------------------------------------------------------------
+
+    def _fetch(self, cycle: int) -> None:
+        if cycle < self._fetch_resume or self._blocked_on_seq is not None:
+            return
+        config = self.config
+        entries = self.trace.entries
+        fetched = 0
+        taken_seen = 0
+        while (self._fetch_idx < len(entries)
+               and fetched < config.front_width
+               and len(self._fetch_queue) < 2 * config.front_width):
+            idx = self._fetch_idx
+            entry = entries[idx]
+            self._fetch_queue.append((idx, entry))
+            self._fetch_idx += 1
+            fetched += 1
+            instr = entry.instr
+            if instr.is_branch():
+                if instr.op is Opcode.B and instr.cond is not Cond.AL:
+                    mispredicted = self.branch_pred.update(
+                        entry.pc, entry.taken)
+                    if mispredicted:
+                        self._blocked_on_seq = idx
+                        break
+                if entry.taken:
+                    # the front end follows one predicted-taken branch
+                    # per cycle (BTB redirect); a second ends the group
+                    taken_seen += 1
+                    if taken_seen > config.taken_branches_per_cycle:
+                        break
+
+
+class _LoadTiming:
+    """Execution-window shim for loads (duck-typed like ExecTiming)."""
+
+    def __init__(self, base: TickBase, addr_cycle: int,
+                 data_cycle: int) -> None:
+        self.start_tick = base.cycle_start(addr_cycle)
+        self.end_tick = base.cycle_start(data_cycle)
+        self.avail_tick = self.end_tick
+        self.sync_avail_tick = self.end_tick
+        self.extra_cycle_hold = False
+        self.recycled = False
+
+
+class _StoreTiming:
+    """Execution-window shim for stores."""
+
+    def __init__(self, base: TickBase, arrival_cycle: int) -> None:
+        edge = base.cycle_start(arrival_cycle)
+        self.start_tick = edge
+        self.end_tick = base.cycle_start(arrival_cycle + 1)
+        self.avail_tick = edge
+        self.sync_avail_tick = edge
+        self.extra_cycle_hold = False
+        self.recycled = False
+
+
+def simulate(workload, config: CoreConfig, *,
+             max_instructions: int = 5_000_000) -> SimResult:
+    """Simulate *workload* (a Program or a pre-generated Trace)."""
+    if isinstance(workload, Program):
+        trace = generate_trace(workload, max_instructions=max_instructions)
+    elif isinstance(workload, Trace):
+        trace = workload
+    else:
+        raise TypeError(f"expected Program or Trace, got {type(workload)}")
+    return CoreSimulator(trace, config).run()

@@ -1,0 +1,69 @@
+"""Last-arriving operand predictor for the Operational RSE (Sec. IV-C).
+
+The Illustrative slack-aware RSE needs 2 parent + 4 grandparent tags; the
+extra comparators load every wakeup bus, which is exactly what makes wide
+schedulers expensive.  The Operational design instead exploits two
+observations the paper cites: most arithmetic ops have a single source,
+and when there are two, the *last-arriving* one is highly predictable
+(Ernst & Austin's tag elimination).
+
+This module implements that predictor: a PC-indexed table (default 1K
+entries, Fig. 12) with one bit per entry stating whether the *second*
+source operand arrives last.  Instructions with fewer than two register
+sources need no prediction.  A misprediction means the RSE watched the
+wrong tag and may have issued before its other operand was ready — it is
+caught by the register-read scoreboard check and replayed like a latency
+misprediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LastArrivalStats:
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def misprediction_rate(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+class LastArrivalPredictor:
+    """1-bit, PC-indexed last-arriving-tag predictor."""
+
+    def __init__(self, *, entries: int = 1024) -> None:
+        if entries < 1:
+            raise ValueError("entries must be >= 1")
+        self.entries = entries
+        #: True → second source is predicted last-arriving
+        self._table = [True] * entries
+        self.stats = LastArrivalStats()
+
+    def _index(self, pc: int) -> int:
+        return pc % self.entries
+
+    def predict_second_last(self, pc: int) -> bool:
+        """Predict whether source 2 (vs source 1) arrives last."""
+        return self._table[self._index(pc)]
+
+    def update(self, pc: int, second_was_last: bool) -> None:
+        """Train with the arrival order observed by the scheduler."""
+        self._table[self._index(pc)] = second_was_last
+
+    def record_outcome(self, predicted_second: bool,
+                       second_was_last: bool) -> bool:
+        """Account one resolved prediction; True when mispredicted."""
+        self.stats.predictions += 1
+        wrong = predicted_second != second_was_last
+        if wrong:
+            self.stats.mispredictions += 1
+        return wrong
+
+    def state_bytes(self) -> int:
+        """Table storage (1 bit/entry)."""
+        return self.entries // 8

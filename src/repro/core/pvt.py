@@ -1,0 +1,204 @@
+"""PVT variation, critical-path monitors and LUT recalibration (Sec. V).
+
+The paper's data-slack estimates are taken at the worst-case design
+corner so they hold under any PVT (process/voltage/temperature)
+condition; executing at nominal conditions adds extra *PVT slack* on
+top.  To harvest it safely, the design places localised critical-path
+monitors (CPMs) near the ALUs and bypass network and recalibrates the
+slack LUT on the fly — the paper adopts Tribeca's 10 000-cycle tuning
+granularity.
+
+This module provides that machinery:
+
+* :class:`PVTCondition` / :func:`delay_scale` — a first-order delay
+  model in voltage and temperature,
+* :class:`DriftScenario` — deterministic V/T trajectories (thermal
+  ramps, voltage droop events) over simulated time,
+* :class:`CriticalPathMonitor` — a CPM with quantised, slightly
+  conservative sensing,
+* :class:`PVTRecalibrator` — the periodic control loop that re-scales a
+  :class:`~repro.core.slack_lut.SlackLUT`, and
+* :func:`recalibration_report` — a window-by-window safety/efficiency
+  analysis used by the PVT bench: *safe* means no LUT bucket ever
+  under-estimates the true delay; *efficiency* measures how much of the
+  true slack the sensed calibration retains.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from .slack_lut import SlackLUT
+
+#: nominal operating point
+NOMINAL_VOLTAGE = 1.10
+NOMINAL_TEMP_C = 60.0
+
+
+@dataclass(frozen=True)
+class PVTCondition:
+    """One operating point."""
+
+    voltage: float = NOMINAL_VOLTAGE
+    temp_c: float = NOMINAL_TEMP_C
+    #: slow/typical/fast process corner as a delay multiplier
+    process: float = 1.0
+
+
+def delay_scale(condition: PVTCondition) -> float:
+    """Combinational-delay multiplier vs the nominal point.
+
+    First-order alpha-power-law behaviour: delay grows as voltage drops
+    (~1.4x per 20 % droop at this operating region) and increases
+    ~0.1 %/°C with temperature, all on top of the process corner.
+    """
+    v_term = (NOMINAL_VOLTAGE / condition.voltage) ** 1.6
+    t_term = 1.0 + 0.001 * (condition.temp_c - NOMINAL_TEMP_C)
+    return condition.process * v_term * t_term
+
+
+@dataclass
+class DriftScenario:
+    """A deterministic PVT trajectory over simulated cycles.
+
+    Composes a thermal ramp (power-up heating that saturates), periodic
+    voltage droop events (di/dt load steps), and a fixed process corner.
+    """
+
+    name: str = "nominal"
+    process: float = 1.0
+    ramp_temp_c: float = 25.0      # added °C at saturation
+    ramp_tau_cycles: float = 2e5   # thermal time constant
+    droop_period: int = 65_536     # cycles between droop events
+    droop_depth_v: float = 0.05    # voltage dip at a droop
+    droop_width: int = 2_048       # cycles a droop lasts
+
+    def condition_at(self, cycle: int) -> PVTCondition:
+        temp = (NOMINAL_TEMP_C + self.ramp_temp_c
+                * (1.0 - math.exp(-cycle / self.ramp_tau_cycles)))
+        voltage = NOMINAL_VOLTAGE
+        if self.droop_period and (cycle % self.droop_period
+                                  < self.droop_width):
+            voltage -= self.droop_depth_v
+        return PVTCondition(voltage=voltage, temp_c=temp,
+                            process=self.process)
+
+    def scale_at(self, cycle: int) -> float:
+        return delay_scale(self.condition_at(cycle))
+
+
+#: canned scenarios used by the bench and example
+SCENARIOS: Dict[str, DriftScenario] = {
+    "nominal": DriftScenario(name="nominal", droop_period=0),
+    "thermal-ramp": DriftScenario(name="thermal-ramp", ramp_temp_c=40.0,
+                                  droop_period=0),
+    "droopy": DriftScenario(name="droopy", droop_depth_v=0.08),
+    "slow-corner": DriftScenario(name="slow-corner", process=1.08),
+    "fast-corner": DriftScenario(name="fast-corner", process=0.92,
+                                 droop_period=0),
+}
+
+
+class CriticalPathMonitor:
+    """A localised CPM: senses the current delay scale conservatively.
+
+    Real CPMs report in quantised steps and are placed/margined so they
+    never under-report the delay of the paths they guard; we model an
+    additive guard band plus quantisation (always rounding up).
+    """
+
+    def __init__(self, *, quantum: float = 0.01,
+                 guard_band: float = 0.01) -> None:
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.quantum = quantum
+        self.guard_band = guard_band
+        self.samples = 0
+
+    def sense(self, true_scale: float) -> float:
+        """Sensed (safe-side) delay scale for *true_scale*."""
+        self.samples += 1
+        padded = true_scale + self.guard_band
+        return math.ceil(padded / self.quantum) * self.quantum
+
+
+@dataclass
+class RecalibrationEvent:
+    """One control-loop firing."""
+
+    cycle: int
+    true_scale: float
+    sensed_scale: float
+    lut_ex_times: Dict[int, int]
+
+
+class PVTRecalibrator:
+    """Periodic CPM-driven LUT recalibration (Tribeca-style)."""
+
+    def __init__(self, lut: SlackLUT, scenario: DriftScenario, *,
+                 interval: int = 10_000,
+                 cpm: CriticalPathMonitor = None) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.lut = lut
+        self.scenario = scenario
+        self.interval = interval
+        self.cpm = cpm or CriticalPathMonitor()
+        self.events: List[RecalibrationEvent] = []
+
+    def tick(self, cycle: int) -> bool:
+        """Advance to *cycle*; recalibrate when the window elapses."""
+        if cycle % self.interval:
+            return False
+        true_scale = self.scenario.scale_at(cycle)
+        sensed = self.cpm.sense(true_scale)
+        self.lut.recalibrate_pvt(sensed)
+        self.events.append(RecalibrationEvent(
+            cycle=cycle, true_scale=true_scale, sensed_scale=sensed,
+            lut_ex_times=dict(self.lut.buckets())))
+        return True
+
+
+def recalibration_report(scenario: DriftScenario, *,
+                         cycles: int = 300_000,
+                         interval: int = 10_000,
+                         lut_factory: Callable[[], SlackLUT] = SlackLUT
+                         ) -> Dict[str, float]:
+    """Window-by-window safety/efficiency analysis of the control loop.
+
+    For every recalibration window, a calibration is *safe* when the
+    sensed scale covers the worst true scale seen inside the window
+    (the LUT never promises more slack than the silicon has).  The
+    *retained slack* fraction compares the sensed LUT's slack to an
+    oracle continuously calibrated to the true scale.
+    """
+    reference = lut_factory()
+    tracked = lut_factory()
+    recal = PVTRecalibrator(tracked, scenario, interval=interval)
+    unsafe_windows = 0
+    windows = 0
+    retained = 0.0
+    full = tracked.tick_base.ticks_per_cycle
+    for start in range(0, cycles, interval):
+        recal.tick(start)
+        windows += 1
+        worst = max(scenario.scale_at(c)
+                    for c in range(start, start + interval,
+                                   max(1, interval // 8)))
+        if recal.events[-1].sensed_scale < worst - 1e-9:
+            unsafe_windows += 1
+        reference.recalibrate_pvt(worst)
+        sensed_slack = sum(full - t for t in tracked.buckets().values())
+        true_slack = sum(full - t for t in reference.buckets().values())
+        if true_slack:
+            retained += min(1.0, sensed_slack / true_slack)
+        else:
+            retained += 1.0
+    return {
+        "windows": windows,
+        "unsafe_windows": unsafe_windows,
+        "retained_slack": retained / windows if windows else 1.0,
+        "recalibrations": len(recal.events),
+    }

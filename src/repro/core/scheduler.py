@@ -1,0 +1,188 @@
+"""Slack-aware wakeup machinery (Sec. IV).
+
+This module holds the scheduler-side building blocks the core simulator
+drives each cycle:
+
+* :func:`consumer_avail_tick` / :func:`wake_cycle` — when a producer's
+  tag broadcast wakes a consumer, and when the consumer's operand is
+  actually usable (transparent CI vs synchronous latching edge);
+* :class:`ReadyQueues` — wakeup bookkeeping: consumers become
+  select-eligible when their *watched* tags have broadcast (all sources
+  in the Illustrative design / baseline; only the predicted-last parent
+  in the Operational design);
+* :class:`GPCandidate` collection — Eager Grandparent Wakeup: children
+  that may issue *in the same cycle as their parent* to catch its slack
+  (Sec. IV-B), subject to the slack-threshold condition (Sec. IV-C
+  step 10) and, under MOS, the single-cycle fit condition.
+
+Selection itself (oldest-first, skewed) lives in
+:mod:`repro.core.select`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.isa.opcodes import OpClass
+from repro.pipeline.uop import Uop, UopState
+
+from .config import RecycleMode
+from .ticks import TickBase
+
+
+def consumer_avail_tick(producer: Uop, consumer: Uop) -> int:
+    """The tick at which *consumer* can use *producer*'s value.
+
+    Transparent producer → transparent consumer rides the open-FF bypass
+    and sees the value at the producer's completion instant; any
+    synchronous endpoint waits for the next clock edge, where the FF
+    turns opaque and latches (Sec. III).
+    """
+    if producer.transparent and consumer.transparent:
+        return producer.avail_tick
+    return producer.sync_avail
+
+
+def wake_cycle(producer: Uop, consumer: Uop, base: TickBase) -> int:
+    """Earliest cycle *consumer* may issue once *producer* has issued.
+
+    Tag broadcast happens in the producer's issue cycle, so the consumer
+    can issue no earlier than ``issue + 1``; producers with longer
+    latencies broadcast later so the consumer arrives at its execution
+    stage just as the value becomes usable.  The consumer needs the
+    operand ``latency_cycles`` after issue (1 for ALU ops; the
+    accumulate stage of a VMLA comes ``simd_multicycle_latency`` later,
+    which is what makes back-to-back accumulate chains run at one per
+    cycle — the late-forwarding behaviour of Sec. V).
+    """
+    avail = consumer_avail_tick(producer, consumer)
+    return max(producer.issue_cycle + 1,
+               base.cycle_of(avail) - consumer.latency_cycles)
+
+
+class ReadyQueues:
+    """Wakeup + pending-request state for the select stage.
+
+    Consumers whose watched tags have all broadcast are *scheduled* to
+    wake at their computed wake cycle; each simulated cycle the core
+    drains that cycle's wakeups into per-FU-class pending lists, kept in
+    age (sequence-number) order for oldest-first selection.
+    """
+
+    def __init__(self) -> None:
+        self._wake_at: Dict[int, List[Uop]] = defaultdict(list)
+        self._pending: Dict[OpClass, List[Uop]] = defaultdict(list)
+        self._pending_seqs: Dict[OpClass, List[int]] = defaultdict(list)
+
+    def schedule_wake(self, uop: Uop, cycle: int) -> None:
+        self._wake_at[cycle].append(uop)
+
+    def advance_to(self, cycle: int) -> None:
+        """Drain wakeups due at *cycle* into the pending lists."""
+        for uop in self._wake_at.pop(cycle, ()):
+            if uop.state is not UopState.DISPATCHED:
+                continue
+            seqs = self._pending_seqs[uop.fu_class]
+            pos = bisect.bisect_left(seqs, uop.seq)
+            seqs.insert(pos, uop.seq)
+            self._pending[uop.fu_class].insert(pos, uop)
+
+    def pending(self, op_class: OpClass) -> List[Uop]:
+        """Live pending requests, oldest first (lazily pruned)."""
+        live = [u for u in self._pending[op_class]
+                if u.state is UopState.DISPATCHED]
+        if len(live) != len(self._pending[op_class]):
+            self._pending[op_class] = live
+            self._pending_seqs[op_class] = [u.seq for u in live]
+        return live
+
+    def remove(self, uop: Uop) -> None:
+        seqs = self._pending_seqs[uop.fu_class]
+        pos = bisect.bisect_left(seqs, uop.seq)
+        if pos < len(seqs) and seqs[pos] == uop.seq:
+            seqs.pop(pos)
+            self._pending[uop.fu_class].pop(pos)
+
+    def has_any_pending(self) -> bool:
+        return any(self.pending(cls) for cls in list(self._pending))
+
+
+def eager_issue_allowed(parent: Uop, child: Uop, *, mode: RecycleMode,
+                        threshold: int, base: TickBase) -> bool:
+    """May *child* issue in *parent*'s issue cycle (EGPW grant check)?
+
+    Checks the paper's step-10 conditions against the parent timing
+    resolved earlier this cycle:
+
+    a. recycling is enabled (REDSOC or MOS fusion),
+    b. the parent completes inside its arrival cycle (no extra-cycle
+       hold — otherwise a conventional next-cycle wakeup already catches
+       the slack) with a completion instant within the slack threshold,
+    c. (MOS only) the child's execution must also fit before the same
+       clock edge — MOS has no transparent boundary crossing.
+
+    The FU-availability and other-source checks are the caller's job.
+    """
+    if mode is RecycleMode.BASELINE:
+        return False
+    if not (parent.transparent and child.transparent):
+        return False
+    arrival_end = base.cycle_start(base.cycle_of(parent.start_tick) + 1)
+    if parent.end_tick >= arrival_end:
+        # the parent either crosses the edge (a conventional next-cycle
+        # wakeup already catches its CI) or ends exactly on it (no slack)
+        return False
+    ci = parent.end_tick % base.ticks_per_cycle
+    if mode is RecycleMode.MOS:
+        return parent.end_tick + child.ex_ticks <= arrival_end
+    return ci <= threshold
+
+
+def other_sources_ready(child: Uop, *, arrival_cycle: int,
+                        base: TickBase) -> bool:
+    """All of *child*'s sources issued & usable within its arrival cycle.
+
+    Used to validate a speculative (GP-woken) issue before granting —
+    with skewed global arbitration this check is what keeps
+    GP-mispeculation at zero (Sec. IV-D).
+    """
+    deadline = base.cycle_start(arrival_cycle + 1)
+    for src in child.sources:
+        if src is None or src.state is UopState.COMMITTED:
+            continue
+        if src.issue_cycle is None:
+            return False
+        if consumer_avail_tick(src, child) >= deadline:
+            return False
+    return True
+
+
+def last_source_avail(child: Uop, base: TickBase) -> int:
+    """Max availability tick over all live sources (the MAX logic)."""
+    avail = 0
+    for src in child.sources:
+        if src is None or src.state is UopState.COMMITTED:
+            continue
+        avail = max(avail, consumer_avail_tick(src, child))
+    return avail
+
+
+def unissued_sources(child: Uop) -> List[Uop]:
+    return [src for src in child.sources
+            if src is not None and src.state is not UopState.COMMITTED
+            and src.issue_cycle is None]
+
+
+def constraining_parent(child: Uop, start_tick: int) -> Optional[Uop]:
+    """The transparent source whose CI equals the child's start tick.
+
+    This identifies the producer whose slack the child recycled — used
+    for transparent-sequence chaining (Fig. 11).
+    """
+    for src in child.sources:
+        if (src is not None and src.transparent and child.transparent
+                and src.avail_tick == start_tick):
+            return src
+    return None

@@ -1,0 +1,85 @@
+"""Sub-cycle time base: ticks, completion instants, quantisation.
+
+ReDSOC tracks slack with a 3-bit fractional representation — 1/8th of the
+clock period (Sec. IV-C); the paper's precision sweep (Sec. V) shows
+performance saturates at 3 bits.  We therefore divide the clock cycle
+into ``ticks_per_cycle`` *ticks* (default 8) and express every EX-TIME
+and Completion Instant (CI) as an integer tick count.
+
+Quantisation is **conservative** (ceil): a computation is never assumed
+to finish earlier than its real delay, so slack recycling stays timing
+non-speculative — the core property that distinguishes ReDSOC from
+timing-speculative (Razor-style) designs.
+
+Global simulation time is a plain integer number of ticks;
+:func:`cycle_of` / :func:`tick_in_cycle` split it when needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.timing.gates import DEFAULT_TECH, TechParams
+
+#: The paper's operating point: 3 bits → 8 ticks per cycle.
+DEFAULT_TICKS_PER_CYCLE = 8
+
+
+@dataclass(frozen=True)
+class TickBase:
+    """Conversion between picoseconds, ticks and cycles.
+
+    ``ticks_per_cycle`` must be a power of two (it is 2^precision_bits);
+    the precision-sweep ablation instantiates bases from 2 (1 bit) to 32
+    (5 bits).
+    """
+
+    ticks_per_cycle: int = DEFAULT_TICKS_PER_CYCLE
+    tech: TechParams = DEFAULT_TECH
+
+    def __post_init__(self) -> None:
+        t = self.ticks_per_cycle
+        if t < 1 or (t & (t - 1)) != 0:
+            raise ValueError(f"ticks_per_cycle must be a power of 2, got {t}")
+
+    @property
+    def precision_bits(self) -> int:
+        return self.ticks_per_cycle.bit_length() - 1
+
+    @property
+    def ps_per_tick(self) -> float:
+        return self.tech.clock_ps / self.ticks_per_cycle
+
+    def ps_to_ticks(self, ps: float) -> int:
+        """Conservatively quantise a delay to ticks (ceil, min 1)."""
+        return max(1, math.ceil(ps / self.ps_per_tick - 1e-9))
+
+    def ex_time_ticks(self, raw_delay_ps: float) -> int:
+        """EX-TIME of a single-cycle op: raw delay + bypass, quantised.
+
+        The transparent-bypass mux/wire (``tech.bypass_ps``) is charged
+        into every EX-TIME because a recycled consumer receives its
+        operand over that path.  Clamped to one full cycle — by
+        construction (validate_tech) no single-cycle op exceeds it.
+        """
+        ticks = self.ps_to_ticks(raw_delay_ps + self.tech.bypass_ps)
+        return min(ticks, self.ticks_per_cycle)
+
+    def cycle_of(self, time_ticks: int) -> int:
+        return time_ticks // self.ticks_per_cycle
+
+    def tick_in_cycle(self, time_ticks: int) -> int:
+        return time_ticks % self.ticks_per_cycle
+
+    def cycle_start(self, cycle: int) -> int:
+        return cycle * self.ticks_per_cycle
+
+    def next_edge(self, time_ticks: int) -> int:
+        """First clock edge at or after *time_ticks*."""
+        t = self.ticks_per_cycle
+        return ((time_ticks + t - 1) // t) * t
+
+
+#: Shared default tick base (8 ticks/cycle, default technology).
+DEFAULT_TICK_BASE = TickBase()

@@ -1,0 +1,121 @@
+"""Transparent-dataflow execution timing (Sec. III, Fig. 4).
+
+Given an issued operation and the availability instants of its source
+values, this module decides
+
+* when real computation starts at the FU (``start``),
+* when the result stabilises (``end`` — the Completion Instant),
+* when consumers may use it (``avail``): transparent consumers take the
+  bypass at ``end``; a true-synchronous consumer waits for the next
+  clock edge (the FF turns opaque),
+* whether the FU must be held for an extra cycle (IT3: the execution
+  window crossed a clock edge),
+
+and tracks *transparent sequences* — maximal chains of operations that
+kept flowing through open FFs — whose expected length is Fig. 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .ticks import TickBase
+
+
+@dataclass
+class ExecTiming:
+    """Resolved execution window of one operation."""
+
+    start_tick: int
+    end_tick: int
+    avail_tick: int        # for transparent consumers
+    sync_avail_tick: int   # for true-synchronous consumers (next edge)
+    extra_cycle_hold: bool
+    recycled: bool         # started mid-cycle off a producer's slack
+
+
+def resolve_execution(*, arrival_cycle: int, source_avail: int,
+                      ex_ticks: int, transparent: bool,
+                      base: TickBase) -> ExecTiming:
+    """Compute the execution window of an op arriving at its FU.
+
+    ``source_avail`` is the max availability tick over all sources (for
+    this consumer's view: transparent producers contribute their CI,
+    synchronous producers their latching edge).  A conventional
+    (non-transparent) op always starts at a clock edge.
+    """
+    cycle_start = base.cycle_start(arrival_cycle)
+    if transparent:
+        start = max(cycle_start, source_avail)
+    else:
+        start = max(cycle_start, base.next_edge(source_avail))
+    end = start + ex_ticks
+    next_edge_after_start = base.cycle_start(base.cycle_of(start) + 1)
+    extra = end > next_edge_after_start
+    return ExecTiming(
+        start_tick=start,
+        end_tick=end,
+        avail_tick=end,
+        sync_avail_tick=base.next_edge(end),
+        extra_cycle_hold=extra,
+        recycled=start % base.ticks_per_cycle != 0,
+    )
+
+
+@dataclass
+class _Chain:
+    length: int = 1
+
+
+@dataclass
+class SequenceTracker:
+    """Transparent-sequence length accounting (Fig. 11).
+
+    A sequence starts with an op that launches from a clock edge and
+    extends through every dependent that starts mid-cycle directly off a
+    predecessor's completion instant.  We record the length of each
+    maximal chain and report the expected value an operation experiences
+    (length-weighted mean), plus the plain mean.
+    """
+
+    _chains: Dict[int, _Chain] = field(default_factory=dict)
+    _next_id: int = 0
+
+    def start_chain(self) -> int:
+        chain_id = self._next_id
+        self._next_id += 1
+        self._chains[chain_id] = _Chain()
+        return chain_id
+
+    def extend_chain(self, chain_id: Optional[int]) -> int:
+        """Continue a producer's chain (transparent hand-off)."""
+        if chain_id is None or chain_id not in self._chains:
+            return self.start_chain()
+        self._chains[chain_id].length += 1
+        return chain_id
+
+    def lengths(self) -> List[int]:
+        return [c.length for c in self._chains.values()]
+
+    @property
+    def num_sequences(self) -> int:
+        return len(self._chains)
+
+    def mean_length(self) -> float:
+        lengths = self.lengths()
+        return sum(lengths) / len(lengths) if lengths else 0.0
+
+    def expected_length(self) -> float:
+        """Length-weighted EV: the sequence length a random transparent
+        operation finds itself in — the paper's 'expected value
+        (weighted mean) of the length of all such sequences'."""
+        lengths = self.lengths()
+        total = sum(lengths)
+        if not total:
+            return 0.0
+        return sum(n * n for n in lengths) / total
+
+    def multi_op_sequences(self) -> int:
+        """Chains that actually recycled slack (length >= 2)."""
+        return sum(1 for n in self.lengths() if n >= 2)

@@ -1,0 +1,47 @@
+"""ARM-flavoured micro-op ISA: opcodes, semantics, assembler, interpreter.
+
+This subpackage is the instruction-set substrate the rest of the
+reproduction builds on.  Public surface:
+
+* :class:`~repro.isa.opcodes.Opcode`, :class:`~repro.isa.opcodes.OpClass`,
+  :class:`~repro.isa.opcodes.ShiftOp`, :class:`~repro.isa.opcodes.Cond`,
+  :class:`~repro.isa.opcodes.SimdType`
+* :func:`~repro.isa.registers.r`, :func:`~repro.isa.registers.v`,
+  :data:`~repro.isa.registers.FLAGS`
+* :class:`~repro.isa.assembler.Asm` → :class:`~repro.isa.program.Program`
+* :func:`~repro.isa.interpreter.run_program` (golden model)
+"""
+
+from .assembler import Asm
+from .instruction import Instruction
+from .interpreter import Interpreter, InterpResult, run_program
+from .opcodes import (
+    Cond,
+    OpClass,
+    Opcode,
+    ShiftOp,
+    SimdType,
+    is_single_cycle_alu,
+    is_transparent_capable,
+    op_class,
+)
+from .program import Program
+from .registers import FLAGS, Flags, Reg, RegClass, RegisterFile, r, v
+from .textasm import AssemblyError, assemble_text
+from .semantics import (
+    ExecResult,
+    Memory,
+    effective_width,
+    execute,
+    width_bucket,
+)
+
+__all__ = [
+    "Asm", "Cond", "ExecResult", "FLAGS", "Flags", "Instruction",
+    "InterpResult", "Interpreter", "Memory", "OpClass", "Opcode",
+    "Program", "Reg", "RegClass", "RegisterFile", "ShiftOp", "SimdType",
+    "AssemblyError", "assemble_text",
+    "effective_width", "execute", "is_single_cycle_alu",
+    "is_transparent_capable", "op_class", "r", "run_program", "v",
+    "width_bucket",
+]

@@ -1,0 +1,301 @@
+"""Programmatic assembler (builder API) for the micro-op ISA.
+
+:class:`Asm` exposes one method per opcode family.  Workload kernels are
+written directly against it::
+
+    asm = Asm("bitcount")
+    asm.mov(r(2), 0)
+    asm.label("loop")
+    asm.ands(r(3), r(1), 1)
+    asm.add(r(2), r(2), r(3))
+    asm.lsr(r(1), r(1), 1)
+    asm.cmp(r(1), 0)
+    asm.b("loop", cond=Cond.NE)
+    asm.halt()
+    program = asm.finish()
+
+Second operands accept either a :class:`~repro.isa.registers.Reg` or an
+``int`` immediate; flexible-operand shifts are keyword arguments
+(``shift=ShiftOp.LSR, shift_amt=3``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .instruction import Instruction
+from .opcodes import Cond, Opcode, ShiftOp, SimdType
+from .program import Program
+from .registers import Reg
+
+Op2 = Union[Reg, int]
+
+
+class Asm:
+    """Incremental program builder; one instance per program."""
+
+    def __init__(self, name: str) -> None:
+        self._program = Program(name)
+
+    # --- infrastructure -------------------------------------------------
+
+    def emit(self, instr: Instruction) -> Instruction:
+        """Append a raw instruction (escape hatch for generators)."""
+        instr.pc = len(self._program.instructions)
+        self._program.instructions.append(instr)
+        return instr
+
+    def label(self, name: str) -> None:
+        """Define *name* at the current instruction index."""
+        if name in self._program.labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._program.labels[name] = len(self._program.instructions)
+
+    def data(self, addr: int, blob: bytes) -> None:
+        """Place *blob* into the initial data image at *addr*."""
+        self._program.data.append((addr, blob))
+
+    def data_words(self, addr: int, words) -> None:
+        """Place 32-bit little-endian *words* at *addr*."""
+        blob = b"".join(
+            (w & 0xFFFFFFFF).to_bytes(4, "little") for w in words)
+        self.data(addr, blob)
+
+    def finish(self) -> Program:
+        """Resolve labels, validate and return the program."""
+        self._program.resolve_labels()
+        self._program.validate()
+        return self._program
+
+    # --- data processing -------------------------------------------------
+
+    def _dp(self, op: Opcode, rd: Optional[Reg], rn: Optional[Reg],
+            op2: Optional[Op2], shift: ShiftOp, shift_amt: int,
+            s: bool) -> Instruction:
+        rm = op2 if isinstance(op2, Reg) else None
+        imm = op2 if isinstance(op2, int) else None
+        return self.emit(Instruction(
+            op=op, rd=rd, rn=rn, rm=rm, imm=imm, shift=shift,
+            shift_amt=shift_amt, set_flags=s))
+
+    def and_(self, rd: Reg, rn: Reg, op2: Op2, *, shift: ShiftOp = ShiftOp.NONE,
+             shift_amt: int = 0, s: bool = False) -> Instruction:
+        return self._dp(Opcode.AND, rd, rn, op2, shift, shift_amt, s)
+
+    def ands(self, rd: Reg, rn: Reg, op2: Op2, **kw) -> Instruction:
+        return self.and_(rd, rn, op2, s=True, **kw)
+
+    def orr(self, rd: Reg, rn: Reg, op2: Op2, *, shift: ShiftOp = ShiftOp.NONE,
+            shift_amt: int = 0, s: bool = False) -> Instruction:
+        return self._dp(Opcode.ORR, rd, rn, op2, shift, shift_amt, s)
+
+    def eor(self, rd: Reg, rn: Reg, op2: Op2, *, shift: ShiftOp = ShiftOp.NONE,
+            shift_amt: int = 0, s: bool = False) -> Instruction:
+        return self._dp(Opcode.EOR, rd, rn, op2, shift, shift_amt, s)
+
+    def bic(self, rd: Reg, rn: Reg, op2: Op2, *, shift: ShiftOp = ShiftOp.NONE,
+            shift_amt: int = 0, s: bool = False) -> Instruction:
+        return self._dp(Opcode.BIC, rd, rn, op2, shift, shift_amt, s)
+
+    def mvn(self, rd: Reg, op2: Op2, *, shift: ShiftOp = ShiftOp.NONE,
+            shift_amt: int = 0, s: bool = False) -> Instruction:
+        return self._dp(Opcode.MVN, rd, None, op2, shift, shift_amt, s)
+
+    def mov(self, rd: Reg, op2: Op2, *, shift: ShiftOp = ShiftOp.NONE,
+            shift_amt: int = 0, s: bool = False) -> Instruction:
+        return self._dp(Opcode.MOV, rd, None, op2, shift, shift_amt, s)
+
+    def tst(self, rn: Reg, op2: Op2, **kw) -> Instruction:
+        return self._dp(Opcode.TST, None, rn, op2,
+                        kw.get("shift", ShiftOp.NONE),
+                        kw.get("shift_amt", 0), True)
+
+    def teq(self, rn: Reg, op2: Op2, **kw) -> Instruction:
+        return self._dp(Opcode.TEQ, None, rn, op2,
+                        kw.get("shift", ShiftOp.NONE),
+                        kw.get("shift_amt", 0), True)
+
+    # --- standalone shifts -----------------------------------------------
+
+    def _shift(self, op: Opcode, rd: Reg, rn: Reg, amount: Op2,
+               s: bool) -> Instruction:
+        rm = amount if isinstance(amount, Reg) else None
+        imm = amount if isinstance(amount, int) else None
+        return self.emit(Instruction(op=op, rd=rd, rn=rn, rm=rm, imm=imm,
+                                     set_flags=s))
+
+    def lsl(self, rd: Reg, rn: Reg, amount: Op2, *, s: bool = False):
+        return self._shift(Opcode.LSL, rd, rn, amount, s)
+
+    def lsr(self, rd: Reg, rn: Reg, amount: Op2, *, s: bool = False):
+        return self._shift(Opcode.LSR, rd, rn, amount, s)
+
+    def asr(self, rd: Reg, rn: Reg, amount: Op2, *, s: bool = False):
+        return self._shift(Opcode.ASR, rd, rn, amount, s)
+
+    def ror(self, rd: Reg, rn: Reg, amount: Op2, *, s: bool = False):
+        return self._shift(Opcode.ROR, rd, rn, amount, s)
+
+    def rrx(self, rd: Reg, rn: Reg, *, s: bool = False):
+        return self.emit(Instruction(op=Opcode.RRX, rd=rd, rn=rn,
+                                     set_flags=s))
+
+    # --- arithmetic --------------------------------------------------------
+
+    def add(self, rd: Reg, rn: Reg, op2: Op2, *, shift: ShiftOp = ShiftOp.NONE,
+            shift_amt: int = 0, s: bool = False) -> Instruction:
+        return self._dp(Opcode.ADD, rd, rn, op2, shift, shift_amt, s)
+
+    def adds(self, rd: Reg, rn: Reg, op2: Op2, **kw) -> Instruction:
+        return self.add(rd, rn, op2, s=True, **kw)
+
+    def sub(self, rd: Reg, rn: Reg, op2: Op2, *, shift: ShiftOp = ShiftOp.NONE,
+            shift_amt: int = 0, s: bool = False) -> Instruction:
+        return self._dp(Opcode.SUB, rd, rn, op2, shift, shift_amt, s)
+
+    def subs(self, rd: Reg, rn: Reg, op2: Op2, **kw) -> Instruction:
+        return self.sub(rd, rn, op2, s=True, **kw)
+
+    def rsb(self, rd: Reg, rn: Reg, op2: Op2, *, shift: ShiftOp = ShiftOp.NONE,
+            shift_amt: int = 0, s: bool = False) -> Instruction:
+        return self._dp(Opcode.RSB, rd, rn, op2, shift, shift_amt, s)
+
+    def adc(self, rd: Reg, rn: Reg, op2: Op2, *, s: bool = False):
+        return self._dp(Opcode.ADC, rd, rn, op2, ShiftOp.NONE, 0, s)
+
+    def sbc(self, rd: Reg, rn: Reg, op2: Op2, *, s: bool = False):
+        return self._dp(Opcode.SBC, rd, rn, op2, ShiftOp.NONE, 0, s)
+
+    def rsc(self, rd: Reg, rn: Reg, op2: Op2, *, s: bool = False):
+        return self._dp(Opcode.RSC, rd, rn, op2, ShiftOp.NONE, 0, s)
+
+    def cmp(self, rn: Reg, op2: Op2, *, shift: ShiftOp = ShiftOp.NONE,
+            shift_amt: int = 0) -> Instruction:
+        return self._dp(Opcode.CMP, None, rn, op2, shift, shift_amt, True)
+
+    def cmn(self, rn: Reg, op2: Op2) -> Instruction:
+        return self._dp(Opcode.CMN, None, rn, op2, ShiftOp.NONE, 0, True)
+
+    # --- multiply / divide -------------------------------------------------
+
+    def mul(self, rd: Reg, rn: Reg, rm: Reg) -> Instruction:
+        return self.emit(Instruction(op=Opcode.MUL, rd=rd, rn=rn, rm=rm))
+
+    def mla(self, rd: Reg, rn: Reg, rm: Reg, ra: Reg) -> Instruction:
+        return self.emit(Instruction(op=Opcode.MLA, rd=rd, rn=rn, rm=rm,
+                                     ra=ra))
+
+    def sdiv(self, rd: Reg, rn: Reg, rm: Reg) -> Instruction:
+        return self.emit(Instruction(op=Opcode.SDIV, rd=rd, rn=rn, rm=rm))
+
+    def udiv(self, rd: Reg, rn: Reg, rm: Reg) -> Instruction:
+        return self.emit(Instruction(op=Opcode.UDIV, rd=rd, rn=rn, rm=rm))
+
+    # --- floating point (Q16.16 fixed-point representation) ----------------
+
+    def fadd(self, rd: Reg, rn: Reg, rm: Reg) -> Instruction:
+        return self.emit(Instruction(op=Opcode.FADD, rd=rd, rn=rn, rm=rm))
+
+    def fsub(self, rd: Reg, rn: Reg, rm: Reg) -> Instruction:
+        return self.emit(Instruction(op=Opcode.FSUB, rd=rd, rn=rn, rm=rm))
+
+    def fmul(self, rd: Reg, rn: Reg, rm: Reg) -> Instruction:
+        return self.emit(Instruction(op=Opcode.FMUL, rd=rd, rn=rn, rm=rm))
+
+    def fdiv(self, rd: Reg, rn: Reg, rm: Reg) -> Instruction:
+        return self.emit(Instruction(op=Opcode.FDIV, rd=rd, rn=rn, rm=rm))
+
+    # --- memory -------------------------------------------------------------
+
+    def ldr(self, rd: Reg, base: Reg, offset: int = 0, *,
+            index: Optional[Reg] = None, scale: int = 1) -> Instruction:
+        return self.emit(Instruction(op=Opcode.LDR, rd=rd, rn=base,
+                                     rm=index, imm=offset, scale=scale))
+
+    def ldrb(self, rd: Reg, base: Reg, offset: int = 0, *,
+             index: Optional[Reg] = None, scale: int = 1) -> Instruction:
+        return self.emit(Instruction(op=Opcode.LDRB, rd=rd, rn=base,
+                                     rm=index, imm=offset, scale=scale))
+
+    def str_(self, rs: Reg, base: Reg, offset: int = 0, *,
+             index: Optional[Reg] = None, scale: int = 1) -> Instruction:
+        return self.emit(Instruction(op=Opcode.STR, rs=rs, rn=base,
+                                     rm=index, imm=offset, scale=scale))
+
+    def strb(self, rs: Reg, base: Reg, offset: int = 0, *,
+             index: Optional[Reg] = None, scale: int = 1) -> Instruction:
+        return self.emit(Instruction(op=Opcode.STRB, rs=rs, rn=base,
+                                     rm=index, imm=offset, scale=scale))
+
+    # --- control flow --------------------------------------------------------
+
+    def b(self, target: Union[str, int], *, cond: Cond = Cond.AL):
+        return self.emit(Instruction(op=Opcode.B, cond=cond, target=target))
+
+    def bl(self, target: Union[str, int], link: Reg):
+        return self.emit(Instruction(op=Opcode.BL, rd=link, target=target))
+
+    def halt(self) -> Instruction:
+        return self.emit(Instruction(op=Opcode.HALT))
+
+    def nop(self) -> Instruction:
+        return self.emit(Instruction(op=Opcode.NOP))
+
+    # --- SIMD ------------------------------------------------------------------
+
+    def _v3(self, op: Opcode, vd: Reg, vn: Reg, vm: Reg,
+            dtype: SimdType) -> Instruction:
+        return self.emit(Instruction(op=op, rd=vd, rn=vn, rm=vm,
+                                     dtype=dtype))
+
+    def vadd(self, vd: Reg, vn: Reg, vm: Reg, dtype: SimdType):
+        return self._v3(Opcode.VADD, vd, vn, vm, dtype)
+
+    def vsub(self, vd: Reg, vn: Reg, vm: Reg, dtype: SimdType):
+        return self._v3(Opcode.VSUB, vd, vn, vm, dtype)
+
+    def vmul(self, vd: Reg, vn: Reg, vm: Reg, dtype: SimdType):
+        return self._v3(Opcode.VMUL, vd, vn, vm, dtype)
+
+    def vmla(self, vd: Reg, vn: Reg, vm: Reg, dtype: SimdType):
+        """Multiply-accumulate: ``vd += vn * vm`` lane-wise."""
+        return self.emit(Instruction(op=Opcode.VMLA, rd=vd, rn=vn, rm=vm,
+                                     ra=vd, dtype=dtype))
+
+    def vmax(self, vd: Reg, vn: Reg, vm: Reg, dtype: SimdType):
+        return self._v3(Opcode.VMAX, vd, vn, vm, dtype)
+
+    def vmin(self, vd: Reg, vn: Reg, vm: Reg, dtype: SimdType):
+        return self._v3(Opcode.VMIN, vd, vn, vm, dtype)
+
+    def vand(self, vd: Reg, vn: Reg, vm: Reg, dtype: SimdType = SimdType.I32):
+        return self._v3(Opcode.VAND, vd, vn, vm, dtype)
+
+    def vorr(self, vd: Reg, vn: Reg, vm: Reg, dtype: SimdType = SimdType.I32):
+        return self._v3(Opcode.VORR, vd, vn, vm, dtype)
+
+    def veor(self, vd: Reg, vn: Reg, vm: Reg, dtype: SimdType = SimdType.I32):
+        return self._v3(Opcode.VEOR, vd, vn, vm, dtype)
+
+    def vshl(self, vd: Reg, vn: Reg, vm: Reg, dtype: SimdType):
+        return self._v3(Opcode.VSHL, vd, vn, vm, dtype)
+
+    def vshr(self, vd: Reg, vn: Reg, vm: Reg, dtype: SimdType):
+        return self._v3(Opcode.VSHR, vd, vn, vm, dtype)
+
+    def vdup(self, vd: Reg, rn: Reg, dtype: SimdType):
+        return self.emit(Instruction(op=Opcode.VDUP, rd=vd, rn=rn,
+                                     dtype=dtype))
+
+    def vmov(self, vd: Reg, vn: Reg):
+        return self.emit(Instruction(op=Opcode.VMOV, rd=vd, rn=vn))
+
+    def vld1(self, vd: Reg, base: Reg, offset: int = 0, *,
+             index: Optional[Reg] = None, scale: int = 1) -> Instruction:
+        return self.emit(Instruction(op=Opcode.VLD1, rd=vd, rn=base,
+                                     rm=index, imm=offset, scale=scale))
+
+    def vst1(self, vs: Reg, base: Reg, offset: int = 0, *,
+             index: Optional[Reg] = None, scale: int = 1) -> Instruction:
+        return self.emit(Instruction(op=Opcode.VST1, rs=vs, rn=base,
+                                     rm=index, imm=offset, scale=scale))

@@ -1,0 +1,232 @@
+"""Opcode definitions for the ARM-flavoured micro-op ISA.
+
+The ISA mirrors the operation mix the paper measures on an ARM-style ALU
+(Fig. 1): bitwise-logical operations, moves, shifts/rotates, simple and
+carry arithmetic, compare/test operations, and arithmetic with a *flexible
+second operand* (a shift applied to operand 2 inside the same ALU pass,
+e.g. ``ADD rd, rn, rm, LSR #3``).  On top of the scalar core it adds a
+NEON-like sub-word SIMD extension (Type-Slack source, Sec. II), multi-cycle
+integer multiply/divide, a small floating-point set, loads/stores and
+branches.
+
+Only *single-cycle* integer ops (class ``ALU``) and late-forwarding SIMD
+accumulates participate in transparent slack recycling; everything else is
+"true synchronous" (Sec. III).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Coarse execution classes used by the scheduler and FU pool."""
+
+    ALU = "alu"            # single-cycle integer ALU op
+    SIMD = "simd"          # NEON-like sub-word op (single-cycle lanes)
+    MUL = "mul"            # multi-cycle integer multiply
+    DIV = "div"            # multi-cycle integer divide
+    FP = "fp"              # multi-cycle floating point
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    NOP = "nop"
+    HALT = "halt"
+
+
+class ShiftOp(enum.Enum):
+    """Shift applied to the flexible second operand (ARM-style)."""
+
+    NONE = "none"
+    LSL = "lsl"
+    LSR = "lsr"
+    ASR = "asr"
+    ROR = "ror"
+    RRX = "rrx"
+
+
+class Cond(enum.Enum):
+    """Branch conditions evaluated against the NZCV flags."""
+
+    AL = "al"   # always
+    EQ = "eq"   # Z
+    NE = "ne"   # !Z
+    LT = "lt"   # N != V
+    GE = "ge"   # N == V
+    GT = "gt"   # !Z and N == V
+    LE = "le"   # Z or N != V
+    CS = "cs"   # C
+    CC = "cc"   # !C
+    MI = "mi"   # N
+    PL = "pl"   # !N
+
+
+class SimdType(enum.Enum):
+    """Sub-word element type of a SIMD operation (Type-Slack source).
+
+    The element width is encoded in the ISA itself (ARM NEON style), so
+    type slack is known at decode with certainty (unlike width slack,
+    which must be predicted).
+    """
+
+    I8 = 8
+    I16 = 16
+    I32 = 32
+    I64 = 64
+
+
+class Opcode(enum.Enum):
+    """Every opcode in the micro-op ISA.
+
+    Scalar data-processing opcodes are named after their ARM equivalents
+    so the timing table lines up with Fig. 1 of the paper.
+    """
+
+    # --- bitwise logical (lowest computation time) ---
+    AND = enum.auto()
+    ORR = enum.auto()
+    EOR = enum.auto()
+    BIC = enum.auto()   # rd = rn & ~op2
+    MVN = enum.auto()   # rd = ~op2
+    TST = enum.auto()   # flags(rn & op2)
+    TEQ = enum.auto()   # flags(rn ^ op2)
+    MOV = enum.auto()   # rd = op2
+
+    # --- shifts / rotates (standalone) ---
+    LSL = enum.auto()
+    LSR = enum.auto()
+    ASR = enum.auto()
+    ROR = enum.auto()
+    RRX = enum.auto()
+
+    # --- arithmetic ---
+    ADD = enum.auto()
+    SUB = enum.auto()
+    RSB = enum.auto()   # rd = op2 - rn
+    ADC = enum.auto()   # add with carry   (paper: ADDC)
+    SBC = enum.auto()   # sub with carry   (paper: SUBC)
+    RSC = enum.auto()   # reverse sub with carry
+    CMP = enum.auto()   # flags(rn - op2)
+    CMN = enum.auto()   # flags(rn + op2)
+
+    # --- multi-cycle integer ---
+    MUL = enum.auto()
+    MLA = enum.auto()   # rd = rn * rm + ra
+    SDIV = enum.auto()
+    UDIV = enum.auto()
+
+    # --- floating point (multi-cycle, true synchronous) ---
+    FADD = enum.auto()
+    FSUB = enum.auto()
+    FMUL = enum.auto()
+    FDIV = enum.auto()
+
+    # --- memory ---
+    LDR = enum.auto()
+    STR = enum.auto()
+    LDRB = enum.auto()
+    STRB = enum.auto()
+
+    # --- control flow ---
+    B = enum.auto()     # conditional/unconditional branch (cond field)
+    BL = enum.auto()    # branch and link (rd <- return address)
+
+    # --- SIMD (NEON-like, 128-bit vectors) ---
+    VADD = enum.auto()
+    VSUB = enum.auto()
+    VMUL = enum.auto()
+    VMLA = enum.auto()  # multiply-accumulate; accumulate operand late-forwards
+    VMAX = enum.auto()
+    VMIN = enum.auto()
+    VAND = enum.auto()
+    VORR = enum.auto()
+    VEOR = enum.auto()
+    VSHL = enum.auto()
+    VSHR = enum.auto()
+    VDUP = enum.auto()  # broadcast scalar register into all lanes
+    VMOV = enum.auto()  # vector register move
+    VLD1 = enum.auto()  # vector load (128-bit)
+    VST1 = enum.auto()  # vector store (128-bit)
+
+    # --- misc ---
+    NOP = enum.auto()
+    HALT = enum.auto()
+
+
+#: Logical scalar ops (arith/logic bit of the slack lookup = logic).
+LOGICAL_OPS = frozenset({
+    Opcode.AND, Opcode.ORR, Opcode.EOR, Opcode.BIC, Opcode.MVN,
+    Opcode.TST, Opcode.TEQ, Opcode.MOV,
+})
+
+#: Standalone shift/rotate ops (classified as logic-with-shift buckets).
+SHIFT_OPS = frozenset({
+    Opcode.LSL, Opcode.LSR, Opcode.ASR, Opcode.ROR, Opcode.RRX,
+})
+
+#: Arithmetic scalar ops (carry chain → widest delay spread with width).
+ARITH_OPS = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.RSB, Opcode.ADC, Opcode.SBC,
+    Opcode.RSC, Opcode.CMP, Opcode.CMN,
+})
+
+#: Ops that only produce flags (no destination register).
+FLAG_ONLY_OPS = frozenset({Opcode.TST, Opcode.TEQ, Opcode.CMP, Opcode.CMN})
+
+#: Ops that consume the carry flag as an input.
+CARRY_IN_OPS = frozenset({Opcode.ADC, Opcode.SBC, Opcode.RSC, Opcode.RRX})
+
+#: SIMD ops whose lanes are single-cycle and transparent-capable.
+SIMD_SINGLE_CYCLE_OPS = frozenset({
+    Opcode.VADD, Opcode.VSUB, Opcode.VMAX, Opcode.VMIN, Opcode.VAND,
+    Opcode.VORR, Opcode.VEOR, Opcode.VSHL, Opcode.VSHR, Opcode.VDUP,
+    Opcode.VMOV,
+})
+
+#: SIMD ops that are pipelined multi-cycle but support late forwarding of
+#: the accumulate operand from a similar op (Sec. V, Cortex-A57 note).
+SIMD_ACCUMULATE_OPS = frozenset({Opcode.VMLA})
+
+_OPCLASS_TABLE = {
+    **{op: OpClass.ALU for op in LOGICAL_OPS | SHIFT_OPS | ARITH_OPS},
+    Opcode.MUL: OpClass.MUL, Opcode.MLA: OpClass.MUL,
+    Opcode.SDIV: OpClass.DIV, Opcode.UDIV: OpClass.DIV,
+    Opcode.FADD: OpClass.FP, Opcode.FSUB: OpClass.FP,
+    Opcode.FMUL: OpClass.FP, Opcode.FDIV: OpClass.FP,
+    Opcode.LDR: OpClass.LOAD, Opcode.LDRB: OpClass.LOAD,
+    Opcode.VLD1: OpClass.LOAD,
+    Opcode.STR: OpClass.STORE, Opcode.STRB: OpClass.STORE,
+    Opcode.VST1: OpClass.STORE,
+    Opcode.B: OpClass.BRANCH, Opcode.BL: OpClass.BRANCH,
+    **{op: OpClass.SIMD
+       for op in SIMD_SINGLE_CYCLE_OPS | SIMD_ACCUMULATE_OPS
+       | {Opcode.VMUL}},
+    Opcode.NOP: OpClass.NOP,
+    Opcode.HALT: OpClass.HALT,
+}
+
+
+def op_class(opcode: Opcode) -> OpClass:
+    """Return the execution class of *opcode*."""
+    return _OPCLASS_TABLE[opcode]
+
+
+def is_single_cycle_alu(opcode: Opcode) -> bool:
+    """True when *opcode* is a single-cycle scalar integer ALU op.
+
+    These are exactly the operations whose data slack ReDSOC recycles
+    (plus single-cycle SIMD lanes, handled separately).
+    """
+    return _OPCLASS_TABLE[opcode] is OpClass.ALU
+
+
+def is_transparent_capable(opcode: Opcode) -> bool:
+    """True when *opcode* can take part in a transparent chain.
+
+    Single-cycle scalar ALU ops and single-cycle / accumulate-forwarding
+    SIMD ops qualify; loads, stores, branches, FP and other multi-cycle
+    ops are true synchronous (Sec. III).
+    """
+    if is_single_cycle_alu(opcode):
+        return True
+    return opcode in SIMD_SINGLE_CYCLE_OPS or opcode in SIMD_ACCUMULATE_OPS

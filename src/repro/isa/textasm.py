@@ -1,0 +1,264 @@
+"""Text assembler: parse assembly source into a Program.
+
+Complements the builder API with a conventional text frontend so
+programs can live in ``.s`` files or docstrings::
+
+    program = assemble_text('''
+        ; sum the numbers 1..10
+            mov   r1, #10
+            mov   r2, #0
+        loop:
+            add   r2, r2, r1
+            subs  r1, r1, #1
+            bne   loop
+            halt
+        .word 0x1000: 1, 2, 3
+    ''', name="sum")
+
+Syntax
+------
+* one instruction per line; ``;`` or ``#`` at line start / ``;``
+  mid-line starts a comment,
+* ``label:`` defines a label (may share a line with an instruction),
+* operands: ``rN`` / ``vN`` registers, ``#imm`` immediates (decimal or
+  0x hex), ``label`` branch targets,
+* flexible second operands: ``add r0, r1, r2, lsr #3``,
+* memory: ``ldr r0, [r1]``, ``ldr r0, [r1, #8]``,
+  ``ldr r0, [r1, r2, #4]`` (base, index, immediate offset),
+* conditional branches: ``beq/bne/blt/bge/bgt/ble/bcs/bcc/bmi/bpl``,
+* SIMD types as suffixes: ``vadd.i16 v0, v1, v2``,
+* data directives: ``.word addr: w0, w1, ...`` and
+  ``.byte addr: b0, b1, ...``,
+* the ``s`` suffix sets flags: ``adds``, ``subs``, ``ands``, ...
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .assembler import Asm
+from .opcodes import Cond, Opcode, ShiftOp, SimdType
+from .program import Program
+from .registers import Reg, r, v
+
+_COND_SUFFIXES = {c.value: c for c in Cond if c is not Cond.AL}
+_SHIFT_NAMES = {s.value: s for s in ShiftOp if s is not ShiftOp.NONE}
+
+#: data-processing mnemonics handled uniformly: name -> (opcode, #ops)
+_DP3 = {"and": Opcode.AND, "orr": Opcode.ORR, "eor": Opcode.EOR,
+        "bic": Opcode.BIC, "add": Opcode.ADD, "sub": Opcode.SUB,
+        "rsb": Opcode.RSB, "adc": Opcode.ADC, "sbc": Opcode.SBC,
+        "rsc": Opcode.RSC}
+_DP2 = {"mov": Opcode.MOV, "mvn": Opcode.MVN}
+_CMP2 = {"cmp": Opcode.CMP, "cmn": Opcode.CMN, "tst": Opcode.TST,
+         "teq": Opcode.TEQ}
+_SHIFT3 = {"lsl": Opcode.LSL, "lsr": Opcode.LSR, "asr": Opcode.ASR,
+           "ror": Opcode.ROR}
+_MUL3 = {"mul": Opcode.MUL, "sdiv": Opcode.SDIV, "udiv": Opcode.UDIV}
+_FP3 = {"fadd": Opcode.FADD, "fsub": Opcode.FSUB, "fmul": Opcode.FMUL,
+        "fdiv": Opcode.FDIV}
+_VEC3 = {"vadd": "vadd", "vsub": "vsub", "vmul": "vmul", "vmla": "vmla",
+         "vmax": "vmax", "vmin": "vmin", "vand": "vand", "vorr": "vorr",
+         "veor": "veor", "vshl": "vshl", "vshr": "vshr"}
+
+
+class AssemblyError(ValueError):
+    """Raised with the offending line and its number."""
+
+    def __init__(self, lineno: int, line: str, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}: {line.strip()!r}")
+        self.lineno = lineno
+
+
+def assemble_text(source: str, *, name: str = "text") -> Program:
+    """Assemble *source* into a validated Program."""
+    asm = Asm(name)
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";")[0].strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            _assemble_line(asm, line)
+        except AssemblyError:
+            raise
+        except Exception as exc:
+            raise AssemblyError(lineno, raw, str(exc)) from exc
+    return asm.finish()
+
+
+def _assemble_line(asm: Asm, line: str) -> None:
+    if line.startswith(".word") or line.startswith(".byte"):
+        _data_directive(asm, line)
+        return
+    match = re.match(r"^(\w+):\s*(.*)$", line)
+    if match:
+        asm.label(match.group(1))
+        line = match.group(2).strip()
+        if not line:
+            return
+    mnemonic, _, rest = line.partition(" ")
+    operands = _split_operands(rest)
+    _dispatch(asm, mnemonic.lower(), operands, line)
+
+
+def _data_directive(asm: Asm, line: str) -> None:
+    kind, _, rest = line.partition(" ")
+    addr_part, _, values_part = rest.partition(":")
+    addr = _int(addr_part.strip())
+    values = [_int(tok.strip()) for tok in values_part.split(",") if
+              tok.strip()]
+    if kind == ".word":
+        asm.data_words(addr, values)
+    else:
+        asm.data(addr, bytes(val & 0xFF for val in values))
+
+
+def _split_operands(rest: str) -> List[str]:
+    """Split on commas, keeping bracketed memory operands together."""
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for char in rest:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+def _int(token: str) -> int:
+    token = token.lstrip("#")
+    return int(token, 0)
+
+
+def _reg(token: str) -> Reg:
+    token = token.strip().lower()
+    if re.fullmatch(r"r\d+", token):
+        return r(int(token[1:]))
+    if re.fullmatch(r"v\d+", token):
+        return v(int(token[1:]))
+    raise ValueError(f"not a register: {token!r}")
+
+
+def _op2(token: str):
+    token = token.strip()
+    if token.startswith("#"):
+        return _int(token)
+    return _reg(token)
+
+
+def _flex(operands: List[str]) -> Tuple[List[str], ShiftOp, int]:
+    """Peel a trailing flexible-shift operand (``lsr #3``) if present."""
+    if operands and operands[-1].split()[0].lower() in _SHIFT_NAMES:
+        shift_tok = operands[-1].split()
+        return (operands[:-1], _SHIFT_NAMES[shift_tok[0].lower()],
+                _int(shift_tok[1]))
+    return operands, ShiftOp.NONE, 0
+
+
+def _mem_operand(token: str):
+    """Parse ``[base]`` / ``[base, #off]`` / ``[base, idx, #off]``."""
+    inner = token.strip()
+    if not (inner.startswith("[") and inner.endswith("]")):
+        raise ValueError(f"expected memory operand, got {token!r}")
+    parts = [p.strip() for p in inner[1:-1].split(",")]
+    base = _reg(parts[0])
+    index: Optional[Reg] = None
+    offset = 0
+    for part in parts[1:]:
+        if part.startswith("#"):
+            offset = _int(part)
+        else:
+            index = _reg(part)
+    return base, index, offset
+
+
+def _dispatch(asm: Asm, mnemonic: str, operands: List[str],
+              line: str) -> None:
+    set_flags = False
+    dtype = None
+
+    if "." in mnemonic:   # SIMD type suffix, e.g. vadd.i16
+        mnemonic, _, suffix = mnemonic.partition(".")
+        dtype = SimdType(int(suffix.lstrip("i")))
+
+    base = mnemonic
+    if (base.endswith("s") and base[:-1] in
+            set(_DP3) | set(_DP2) | set(_SHIFT3)):
+        base = base[:-1]
+        set_flags = True
+
+    if base in _DP3:
+        ops, shift, amount = _flex(operands)
+        asm._dp(_DP3[base], _reg(ops[0]), _reg(ops[1]), _op2(ops[2]),
+                shift, amount, set_flags)
+    elif base in _DP2:
+        ops, shift, amount = _flex(operands)
+        asm._dp(_DP2[base], _reg(ops[0]), None, _op2(ops[1]), shift,
+                amount, set_flags)
+    elif base in _CMP2:
+        ops, shift, amount = _flex(operands)
+        op = _CMP2[base]
+        asm._dp(op, None, _reg(ops[0]), _op2(ops[1]), shift, amount,
+                True)
+    elif base in _SHIFT3:
+        asm._shift(_SHIFT3[base], _reg(operands[0]), _reg(operands[1]),
+                   _op2(operands[2]), set_flags)
+    elif base == "rrx":
+        asm.rrx(_reg(operands[0]), _reg(operands[1]), s=set_flags)
+    elif base in _MUL3:
+        getattr(asm, {"mul": "mul", "sdiv": "sdiv", "udiv": "udiv"}[base])(
+            _reg(operands[0]), _reg(operands[1]), _reg(operands[2]))
+    elif base == "mla":
+        asm.mla(_reg(operands[0]), _reg(operands[1]), _reg(operands[2]),
+                _reg(operands[3]))
+    elif base in _FP3:
+        getattr(asm, base)(_reg(operands[0]), _reg(operands[1]),
+                           _reg(operands[2]))
+    elif base in ("ldr", "ldrb"):
+        mem_base, index, offset = _mem_operand(operands[1])
+        getattr(asm, base)(_reg(operands[0]), mem_base, offset,
+                           index=index)
+    elif base in ("str", "strb"):
+        method = "str_" if base == "str" else "strb"
+        mem_base, index, offset = _mem_operand(operands[1])
+        getattr(asm, method)(_reg(operands[0]), mem_base, offset,
+                             index=index)
+    elif base in ("vld1", "vst1"):
+        mem_base, index, offset = _mem_operand(operands[1])
+        getattr(asm, base)(_reg(operands[0]), mem_base, offset,
+                           index=index)
+    elif base == "vdup":
+        asm.vdup(_reg(operands[0]), _reg(operands[1]),
+                 dtype or SimdType.I32)
+    elif base == "vmov":
+        asm.vmov(_reg(operands[0]), _reg(operands[1]))
+    elif base in _VEC3:
+        method = getattr(asm, _VEC3[base])
+        args = [_reg(tok) for tok in operands]
+        if base in ("vand", "vorr", "veor"):
+            method(*args, dtype=dtype or SimdType.I32)
+        else:
+            if dtype is None:
+                raise ValueError(f"{base} needs a .iN type suffix")
+            method(*args, dtype)
+    elif base == "b" or (base.startswith("b")
+                         and base[1:] in _COND_SUFFIXES):
+        cond = _COND_SUFFIXES.get(base[1:], Cond.AL)
+        asm.b(operands[0], cond=cond)
+    elif base == "bl":
+        asm.bl(operands[0], link=_reg(operands[1]))
+    elif base == "halt":
+        asm.halt()
+    elif base == "nop":
+        asm.nop()
+    else:
+        raise ValueError(f"unknown mnemonic {mnemonic!r}")

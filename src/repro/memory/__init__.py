@@ -1,0 +1,10 @@
+"""Cache-hierarchy substrate: L1/L2 with prefetch + DRAM (Table I)."""
+
+from .cache import Cache, CacheStats
+from .hierarchy import MemoryConfig, MemoryHierarchy
+from .prefetch import NextLinePrefetcher, StridePrefetcher
+
+__all__ = [
+    "Cache", "CacheStats", "MemoryConfig", "MemoryHierarchy",
+    "NextLinePrefetcher", "StridePrefetcher",
+]

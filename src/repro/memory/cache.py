@@ -1,0 +1,128 @@
+"""Set-associative cache model with LRU replacement.
+
+A timing-only model: it tracks which lines are resident (tags), not their
+data — the functional memory image lives in
+:class:`repro.isa.semantics.Memory`.  Write-back, write-allocate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    prefetch_fills: int = 0
+    prefetch_hits: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.miss_rate if self.accesses else 0.0
+
+
+@dataclass
+class _Line:
+    tag: int
+    dirty: bool = False
+    prefetched: bool = False
+
+
+class Cache:
+    """One level of set-associative cache.
+
+    ``access`` returns whether the reference hit; fills and evictions are
+    handled internally and reported through the return value so the
+    hierarchy can charge lower levels for the miss and the writeback.
+    """
+
+    def __init__(self, name: str, *, size_bytes: int, assoc: int,
+                 line_bytes: int = 64) -> None:
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ValueError(f"{name}: size not divisible by assoc*line")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{name}: set count must be a power of 2")
+        #: per-set list of lines, most-recently-used last
+        self._sets: List[List[_Line]] = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        line_addr = addr // self.line_bytes
+        return line_addr % self.num_sets, line_addr // self.num_sets
+
+    def probe(self, addr: int) -> bool:
+        """Non-destructive lookup (no LRU update, no stats)."""
+        set_idx, tag = self._locate(addr)
+        return any(line.tag == tag for line in self._sets[set_idx])
+
+    def access(self, addr: int, *, is_write: bool = False
+               ) -> Tuple[bool, Optional[int]]:
+        """Reference *addr*; returns ``(hit, writeback_line_addr)``.
+
+        On a miss the line is filled (write-allocate) and the victim's
+        line address is returned when it was dirty.
+        """
+        set_idx, tag = self._locate(addr)
+        ways = self._sets[set_idx]
+        for i, line in enumerate(ways):
+            if line.tag == tag:
+                self.stats.hits += 1
+                if line.prefetched:
+                    self.stats.prefetch_hits += 1
+                    line.prefetched = False
+                if is_write:
+                    line.dirty = True
+                ways.append(ways.pop(i))  # move to MRU
+                return True, None
+        self.stats.misses += 1
+        writeback = self._fill(set_idx, tag, dirty=is_write)
+        return False, writeback
+
+    def fill_prefetch(self, addr: int) -> None:
+        """Install a line speculatively (prefetch); no demand stats."""
+        set_idx, tag = self._locate(addr)
+        if any(line.tag == tag for line in self._sets[set_idx]):
+            return
+        self.stats.prefetch_fills += 1
+        self._fill(set_idx, tag, dirty=False, prefetched=True)
+
+    def _fill(self, set_idx: int, tag: int, *, dirty: bool,
+              prefetched: bool = False) -> Optional[int]:
+        ways = self._sets[set_idx]
+        writeback = None
+        if len(ways) >= self.assoc:
+            victim = ways.pop(0)  # LRU
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+                writeback = ((victim.tag * self.num_sets + set_idx)
+                             * self.line_bytes)
+        ways.append(_Line(tag=tag, dirty=dirty, prefetched=prefetched))
+        return writeback
+
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def invariant_check(self) -> None:
+        """Structural invariants (used by property tests)."""
+        for set_idx, ways in enumerate(self._sets):
+            assert len(ways) <= self.assoc, "set over-full"
+            tags = [line.tag for line in ways]
+            assert len(tags) == len(set(tags)), "duplicate tag in set"

@@ -1,0 +1,59 @@
+"""Gshare branch direction predictor.
+
+The front-end predicts every conditional branch; a misprediction flushes
+the pipeline and charges the redirect penalty.  Targets come from the
+trace (a BTB would supply them in hardware; taken-branch target delivery
+is folded into the same redirect penalty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BranchStats:
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+
+class GsharePredictor:
+    """Classic gshare: PC xor global-history indexed 2-bit counters."""
+
+    def __init__(self, *, entries: int = 4096, history_bits: int = 12
+                 ) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of 2")
+        self.entries = entries
+        self.history_bits = history_bits
+        self._history = 0
+        self._counters = [2] * entries  # weakly taken
+        self.stats = BranchStats()
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) % self.entries
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Train with the actual outcome; returns True on mispredict."""
+        idx = self._index(pc)
+        predicted = self._counters[idx] >= 2
+        if taken and self._counters[idx] < 3:
+            self._counters[idx] += 1
+        elif not taken and self._counters[idx] > 0:
+            self._counters[idx] -= 1
+        mask = (1 << self.history_bits) - 1
+        self._history = ((self._history << 1) | int(taken)) & mask
+        self.stats.predictions += 1
+        wrong = predicted != taken
+        if wrong:
+            self.stats.mispredictions += 1
+        return wrong

@@ -1,0 +1,95 @@
+"""Execution-resource accounting: FU pools with per-cycle reservations.
+
+ReDSOC's IT3 holds a functional unit for **two** cycles when an
+operation's (mid-cycle-offset) execution crosses a clock edge — that
+extra occupancy is the mechanism's main cost (Fig. 14's higher FU-stall
+rates), so the FU model must track reservations on future cycles, not
+just a per-cycle counter.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.opcodes import OpClass
+
+
+@dataclass
+class FUStats:
+    """Per-class issue/stall counters (Fig. 14)."""
+
+    issues: Dict[OpClass, int] = field(
+        default_factory=lambda: defaultdict(int))
+    #: cycles in which >= 1 ready request found every unit busy
+    stall_cycles: int = 0
+    #: total cycles simulated (denominator for the stall rate)
+    cycles: int = 0
+    #: extra-cycle (2-cycle) holds taken by slack recycling
+    two_cycle_holds: int = 0
+
+    @property
+    def stall_rate(self) -> float:
+        return self.stall_cycles / self.cycles if self.cycles else 0.0
+
+
+class FUPool:
+    """Reservation table for one class of functional units."""
+
+    def __init__(self, op_class: OpClass, count: int) -> None:
+        self.op_class = op_class
+        self.count = count
+        self._busy: Dict[int, int] = defaultdict(int)
+
+    def free_at(self, cycle: int) -> int:
+        return self.count - self._busy[cycle]
+
+    def can_reserve(self, cycle: int, *, extra_cycle: bool = False) -> bool:
+        if self._busy[cycle] >= self.count:
+            return False
+        if extra_cycle and self._busy[cycle + 1] >= self.count:
+            return False
+        return True
+
+    def reserve(self, cycle: int, *, extra_cycle: bool = False) -> None:
+        if not self.can_reserve(cycle, extra_cycle=extra_cycle):
+            raise RuntimeError(
+                f"{self.op_class}: no free unit at cycle {cycle}")
+        self._busy[cycle] += 1
+        if extra_cycle:
+            self._busy[cycle + 1] += 1
+
+    def release_past(self, cycle: int) -> None:
+        """Drop bookkeeping for cycles before *cycle* (memory hygiene)."""
+        for c in [c for c in self._busy if c < cycle]:
+            del self._busy[c]
+
+
+class ExecutionResources:
+    """All FU pools of a core (Table I's ALU/SIMD/FP columns + memory).
+
+    Loads/stores share ``mem_ports``; MUL/DIV share the SIMD/FP pools'
+    sibling integer-complex unit, modelled as its own small pool.
+    """
+
+    def __init__(self, *, alu: int, simd: int, fp: int, mem_ports: int,
+                 complex_units: int = 1, branch_units: int = 2) -> None:
+        self.pools: Dict[OpClass, FUPool] = {
+            OpClass.ALU: FUPool(OpClass.ALU, alu),
+            OpClass.SIMD: FUPool(OpClass.SIMD, simd),
+            OpClass.FP: FUPool(OpClass.FP, fp),
+            OpClass.LOAD: FUPool(OpClass.LOAD, mem_ports),
+            OpClass.STORE: FUPool(OpClass.STORE, mem_ports),
+            OpClass.MUL: FUPool(OpClass.MUL, complex_units),
+            OpClass.DIV: FUPool(OpClass.DIV, complex_units),
+            OpClass.BRANCH: FUPool(OpClass.BRANCH, branch_units),
+        }
+        self.stats = FUStats()
+
+    def pool_for(self, op_class: OpClass) -> FUPool:
+        return self.pools[op_class]
+
+    def release_past(self, cycle: int) -> None:
+        for pool in self.pools.values():
+            pool.release_past(cycle)

@@ -1,0 +1,92 @@
+"""Dynamic-trace generation: the functional-first half of the simulator.
+
+The timing simulator is *trace-driven*: the reference interpreter first
+executes the program and records one :class:`TraceEntry` per dynamic
+instruction (opcode, register dataflow, actual operand width, memory
+address, branch outcome).  The cycle-level model then replays this trace
+through the pipeline structures.
+
+This methodology is exact for ReDSOC because slack recycling is a pure
+*timing* mechanism — it never changes architectural results (the paper's
+design is timing non-speculative).  Branch and width mispredictions are
+still modelled faithfully: the predictors run against the recorded
+outcomes and their penalties are charged in the timing model; only
+wrong-path *fetch bandwidth* is approximated by the redirect penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program
+from repro.isa.registers import Reg, RegisterFile
+from repro.isa.semantics import Memory, execute
+
+
+@dataclass
+class TraceEntry:
+    """One dynamic instruction with its functional outcome."""
+
+    __slots__ = ("instr", "pc", "next_pc", "taken", "op_width", "mem_addr",
+                 "mem_size", "is_store")
+
+    instr: Instruction
+    pc: int
+    next_pc: int
+    taken: bool
+    op_width: int
+    mem_addr: Optional[int]
+    mem_size: int
+    is_store: bool
+
+
+@dataclass
+class Trace:
+    """A complete dynamic trace plus the final architectural state."""
+
+    name: str
+    entries: List[TraceEntry]
+    final_regs: Dict
+    final_mem: Dict
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def arch_state(self) -> Dict:
+        return {"regs": self.final_regs, "mem": self.final_mem}
+
+
+def generate_trace(program: Program, *,
+                   init_regs: Optional[Dict[Reg, int]] = None,
+                   max_instructions: int = 5_000_000) -> Trace:
+    """Functionally execute *program* and record its dynamic trace."""
+    program.validate()
+    regs = RegisterFile()
+    for reg, value in (init_regs or {}).items():
+        regs.write(reg, value)
+    mem = program.build_memory()
+
+    entries: List[TraceEntry] = []
+    pc = program.entry
+    instrs = program.instructions
+    while len(entries) < max_instructions:
+        instr = instrs[pc]
+        result = execute(instr, regs, mem, pc)
+        entries.append(TraceEntry(
+            instr=instr, pc=pc, next_pc=result.next_pc, taken=result.taken,
+            op_width=result.op_width, mem_addr=result.mem_addr,
+            mem_size=result.mem_size, is_store=result.is_store))
+        for reg, value in result.writes.items():
+            regs.write(reg, value)
+        if result.is_store:
+            mem.write(result.mem_addr, result.store_value, result.mem_size)
+        if result.halted:
+            break
+        pc = result.next_pc
+    else:
+        raise RuntimeError(
+            f"{program.name!r} exceeded {max_instructions} instructions")
+    return Trace(name=program.name, entries=entries,
+                 final_regs=regs.snapshot(), final_mem=mem.snapshot())

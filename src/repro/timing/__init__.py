@@ -1,0 +1,38 @@
+"""Circuit-timing substrate: structural delay models for the ALU datapath.
+
+Substitutes the paper's RTL-synthesis timing analysis (TSMC 45 nm,
+Synopsys DC, 2 GHz target) with calibrated structural models:
+
+* :func:`~repro.timing.kogge_stone.ks_adder_delay_ps` — prefix-adder
+  carry path vs effective width (Fig. 2),
+* :func:`~repro.timing.alu_timing.scalar_op_delay_ps` /
+  :func:`~repro.timing.alu_timing.fig1_table` — per-opcode computation
+  times (Fig. 1),
+* :func:`~repro.timing.simd_timing.simd_op_delay_ps` — sub-word SIMD
+  lane timing (Type-Slack).
+"""
+
+from .alu_timing import (
+    FIG1_ORDER,
+    fig1_table,
+    scalar_op_delay_ps,
+    worst_case_alu_delay_ps,
+)
+from .gates import DEFAULT_TECH, TechParams, validate_tech
+from .kogge_stone import KoggeStoneAdder, fig2_series, ks_adder_delay_ps
+from .logic_unit import logic_unit_delay_ps
+from .shifter import barrel_shifter_delay_ps, shifter_series, shifter_stages
+from .simd_timing import (
+    simd_op_delay_ps,
+    type_slack_table,
+    vmla_accumulate_delay_ps,
+)
+
+__all__ = [
+    "DEFAULT_TECH", "FIG1_ORDER", "KoggeStoneAdder", "TechParams",
+    "barrel_shifter_delay_ps", "fig1_table", "fig2_series",
+    "ks_adder_delay_ps", "logic_unit_delay_ps", "scalar_op_delay_ps",
+    "shifter_series", "shifter_stages", "simd_op_delay_ps",
+    "type_slack_table", "validate_tech", "vmla_accumulate_delay_ps",
+    "worst_case_alu_delay_ps",
+]

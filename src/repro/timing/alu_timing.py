@@ -1,0 +1,107 @@
+"""Per-opcode ALU computation times (reproduces Fig. 1).
+
+Composes the structural sub-unit models into a single-cycle ALU delay for
+every scalar opcode, as a function of the *effective operand width*
+(Width-Slack) and of an optional flexible-operand shift (the ``ADD-LSR``
+/ ``SUB-ROR`` composite paths at the right edge of Fig. 1).
+
+The delays returned here are *raw* combinational delays, directly
+comparable to the paper's post-synthesis numbers.  The scheduling
+EX-TIME adds the transparent-bypass overhead and quantises to ticks —
+that happens in :mod:`repro.core.slack_lut`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.opcodes import (
+    ARITH_OPS,
+    LOGICAL_OPS,
+    Opcode,
+    SHIFT_OPS,
+)
+
+from .gates import DEFAULT_TECH, TechParams
+from .kogge_stone import ks_adder_delay_ps
+from .logic_unit import logic_unit_delay_ps
+from .shifter import barrel_shifter_delay_ps
+
+#: Small per-opcode structural offsets (ps) within the logic family:
+#: MOV is a bare operand mux, MVN adds an inverter, XOR-based ops are a
+#: level slower than NAND-based ones.  These produce Fig. 1's intra-group
+#: spread without affecting bucket classification (buckets take the
+#: worst delay in the group).
+_LOGIC_OFFSETS_PS: Dict[Opcode, float] = {
+    Opcode.MOV: -20.0,
+    Opcode.MVN: -10.0,
+    Opcode.BIC: -5.0,
+    Opcode.AND: 0.0,
+    Opcode.ORR: 0.0,
+    Opcode.TST: 0.0,
+    Opcode.EOR: 10.0,
+    Opcode.TEQ: 10.0,
+}
+
+#: Carry-in ops pay one extra mux on the carry path.
+_CARRY_IN_EXTRA_PS = 10.0
+
+
+def scalar_op_delay_ps(opcode: Opcode, *, effective_width: int = 32,
+                       flex_shift: bool = False,
+                       tech: TechParams = DEFAULT_TECH) -> float:
+    """Raw combinational delay of one scalar single-cycle ALU op.
+
+    ``flex_shift`` marks a flexible second operand (inline shift), which
+    puts the barrel shifter *in series* with the main unit.
+    """
+    delay = tech.base_ps
+    if flex_shift:
+        delay += (barrel_shifter_delay_ps(32, tech=tech) + tech.flex_mux_ps)
+
+    if opcode in LOGICAL_OPS:
+        delay += logic_unit_delay_ps(tech=tech)
+        delay += _LOGIC_OFFSETS_PS.get(opcode, 0.0)
+    elif opcode in SHIFT_OPS:
+        delay += barrel_shifter_delay_ps(effective_width, tech=tech)
+    elif opcode in ARITH_OPS:
+        delay += ks_adder_delay_ps(effective_width, tech=tech)
+        if opcode in (Opcode.ADC, Opcode.SBC, Opcode.RSC):
+            delay += _CARRY_IN_EXTRA_PS
+    else:
+        raise ValueError(f"{opcode} is not a single-cycle scalar ALU op")
+    return delay
+
+
+def worst_case_alu_delay_ps(tech: TechParams = DEFAULT_TECH) -> float:
+    """The path that sets the conservative clock: flex-shift + full add."""
+    return scalar_op_delay_ps(Opcode.ADC, effective_width=32,
+                              flex_shift=True, tech=tech)
+
+
+#: Display order of Fig. 1's x-axis (logic → shifts → arithmetic →
+#: carry arithmetic → shift-modified arithmetic composites).
+FIG1_ORDER: List[Tuple[str, Opcode, bool]] = [
+    ("BIC", Opcode.BIC, False), ("MVN", Opcode.MVN, False),
+    ("AND", Opcode.AND, False), ("EOR", Opcode.EOR, False),
+    ("TST", Opcode.TST, False), ("TEQ", Opcode.TEQ, False),
+    ("ORR", Opcode.ORR, False), ("MOV", Opcode.MOV, False),
+    ("LSR", Opcode.LSR, False), ("ASR", Opcode.ASR, False),
+    ("LSL", Opcode.LSL, False), ("ROR", Opcode.ROR, False),
+    ("RRX", Opcode.RRX, False),
+    ("RSB", Opcode.RSB, False), ("RSC", Opcode.RSC, False),
+    ("SUB", Opcode.SUB, False), ("CMP", Opcode.CMP, False),
+    ("ADD", Opcode.ADD, False), ("CMN", Opcode.CMN, False),
+    ("ADDC", Opcode.ADC, False), ("SUBC", Opcode.SBC, False),
+    ("ADD-LSR", Opcode.ADD, True), ("SUB-ROR", Opcode.SUB, True),
+]
+
+
+def fig1_table(*, effective_width: int = 32,
+               tech: TechParams = DEFAULT_TECH) -> List[Tuple[str, float]]:
+    """Computation time for every Fig. 1 ALU operation, in display order."""
+    return [
+        (name, scalar_op_delay_ps(op, effective_width=effective_width,
+                                  flex_shift=flex, tech=tech))
+        for name, op, flex in FIG1_ORDER
+    ]

@@ -1,0 +1,78 @@
+"""Technology parameters for the structural delay models.
+
+The paper derives per-opcode computation times from RTL synthesised for a
+TSMC 45 nm standard-cell library at a 2 GHz (500 ps) target (Fig. 1).  We
+cannot synthesise RTL here, so :mod:`repro.timing` substitutes *structural*
+delay models — Kogge–Stone prefix adder, logarithmic barrel shifter,
+two-level logic unit — whose per-stage delays are the constants below.
+
+The constants are calibrated so the composed opcode delays land on the
+same fractions of the 500 ps clock that Fig. 1 shows:
+
+* bitwise logical ops        ≈ 130–150 ps  (~30 % of the cycle)
+* standalone shifts/rotates  ≈ 190 ps      (~40 %)
+* full-width add/sub family  ≈ 360–380 ps  (~75 %)
+* shift-modified arithmetic  ≈ 470–495 ps  (~95–100 %, the critical path)
+
+and so the worst-case path (flexible-shift + 32-bit carry chain + bypass)
+still fits inside the clock period — that path is what *sets* the
+conservative clock in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechParams:
+    """Per-stage delays (picoseconds) of the synthetic 45 nm-like library."""
+
+    #: clock period at the 2 GHz synthesis target
+    clock_ps: float = 500.0
+    #: input operand routing + source mux + FF clk-to-q, charged once per op
+    base_ps: float = 70.0
+    #: one 2:1 mux stage of the barrel shifter
+    shifter_stage_ps: float = 20.0
+    #: propagate/generate preprocessing of the prefix adder
+    adder_pg_ps: float = 20.0
+    #: one prefix (dot-operator) level of the Kogge-Stone tree
+    adder_prefix_ps: float = 42.0
+    #: final sum XOR stage
+    adder_sum_ps: float = 20.0
+    #: wire/fan-out penalty per result bit of the adder (ps per bit)
+    adder_wire_ps_per_bit: float = 1.0
+    #: two-level AOI logic unit (AND/OR/XOR/BIC/MVN/MOV)
+    logic_unit_ps: float = 60.0
+    #: mux folding the flexible-shift result into the ALU operand path
+    flex_mux_ps: float = 16.0
+    #: comparator select mux (VMAX/VMIN)
+    cmp_mux_ps: float = 16.0
+    #: transparent-bypass wire + FF-bypass mux between execution units;
+    #: charged into every EX-TIME because a recycled consumer picks its
+    #: operand off this path (Sec. III)
+    bypass_ps: float = 20.0
+    #: FF setup margin that the conventional clock absorbs
+    setup_ps: float = 15.0
+
+
+#: Default technology instance used throughout the reproduction.
+DEFAULT_TECH = TechParams()
+
+
+def validate_tech(tech: TechParams) -> None:
+    """Check that the worst-case ALU path fits in the clock period.
+
+    The conservative clock must accommodate the shift-modified full-width
+    arithmetic path (``ADD rd, rn, rm, LSR #k`` at 32-bit effective
+    width) plus FF setup.  Raises ``ValueError`` when the technology is
+    mis-calibrated — the simulator refuses to run with a clock that would
+    produce timing violations in the *baseline*.
+    """
+    from .alu_timing import worst_case_alu_delay_ps  # local: avoid cycle
+
+    worst = worst_case_alu_delay_ps(tech)
+    if worst + tech.setup_ps > tech.clock_ps:
+        raise ValueError(
+            f"worst-case ALU path {worst:.1f} ps + setup {tech.setup_ps} ps "
+            f"exceeds the {tech.clock_ps} ps clock")

@@ -1,0 +1,19 @@
+"""Bitwise-logic unit delay model.
+
+The logic unit (AND/OR/XOR/BIC/MVN/MOV and the flag-only TST/TEQ) is two
+gate levels plus the result mux — one fixed delay, *independent of
+operand width*: there is no carry chain, every bit is computed locally.
+
+This width-independence is why the paper's 14-bucket classification
+collapses all logic widths into a single bucket per shift mode
+(2 logic buckets + 8 arithmetic buckets + 4 SIMD-type buckets = 14).
+"""
+
+from __future__ import annotations
+
+from .gates import DEFAULT_TECH, TechParams
+
+
+def logic_unit_delay_ps(*, tech: TechParams = DEFAULT_TECH) -> float:
+    """Critical-path delay of the two-level logic unit."""
+    return tech.logic_unit_ps

@@ -1,0 +1,35 @@
+"""Structural barrel-shifter delay model.
+
+A logarithmic barrel shifter for an *n*-bit word is ``log2(n)`` cascaded
+2:1 mux stages (shift by 1, 2, 4, ...).  Its delay therefore depends on
+the *word* width being shifted, not on the shift amount — but a narrow
+effective operand still shortens the path, because the upper stages only
+route constant sign/zero bits whose values are known without waiting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from .gates import DEFAULT_TECH, TechParams
+
+
+def shifter_stages(effective_width: int, word_width: int = 32) -> int:
+    """Mux stages on the critical path for a given effective width."""
+    w = max(2, min(effective_width, word_width))
+    return max(1, math.ceil(math.log2(w)))
+
+
+def barrel_shifter_delay_ps(effective_width: int = 32, *,
+                            word_width: int = 32,
+                            tech: TechParams = DEFAULT_TECH) -> float:
+    """Critical-path delay of the barrel shifter."""
+    return shifter_stages(effective_width, word_width) * tech.shifter_stage_ps
+
+
+def shifter_series(word_width: int = 32, *,
+                   tech: TechParams = DEFAULT_TECH) -> List[Tuple[int, float]]:
+    """Delay vs effective width, 1..word_width (for analysis/benches)."""
+    return [(w, barrel_shifter_delay_ps(w, word_width=word_width, tech=tech))
+            for w in range(1, word_width + 1)]

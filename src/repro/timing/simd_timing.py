@@ -1,0 +1,74 @@
+"""Sub-word SIMD lane timing (the Type-Slack source, Sec. II-A).
+
+A 128-bit SIMD unit computes all lanes in parallel, so its critical path
+is one lane's path — and a lane is exactly `dtype` bits wide.  Narrow
+data types (I8/I16) therefore finish well before the I64 worst case that
+times the unit: the same varying-carry-chain effect as Fig. 2, but with
+the width *declared in the ISA* (no prediction needed).
+
+Multi-cycle SIMD multiplies are true synchronous; VMLA's final
+*accumulate* stage, however, late-forwards between like ops (Cortex-A57
+behaviour the paper cites), so that stage has a recyclable delay,
+returned by :func:`vmla_accumulate_delay_ps`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.isa.opcodes import Opcode, SimdType
+
+from .gates import DEFAULT_TECH, TechParams
+from .kogge_stone import ks_adder_delay_ps
+from .logic_unit import logic_unit_delay_ps
+from .shifter import barrel_shifter_delay_ps
+
+#: SIMD ops whose lane path is an adder (carry chain of lane width).
+_ADDER_LANE_OPS = frozenset({Opcode.VADD, Opcode.VSUB})
+#: Compare-select ops: subtract then mux.
+_CMP_LANE_OPS = frozenset({Opcode.VMAX, Opcode.VMIN})
+#: Bitwise lanes: width-independent logic.
+_LOGIC_LANE_OPS = frozenset({Opcode.VAND, Opcode.VORR, Opcode.VEOR})
+#: Per-lane shifter ops.
+_SHIFT_LANE_OPS = frozenset({Opcode.VSHL, Opcode.VSHR})
+#: Broadcast/move: operand mux only.
+_MOVE_LANE_OPS = frozenset({Opcode.VDUP, Opcode.VMOV})
+
+
+def simd_op_delay_ps(opcode: Opcode, dtype: SimdType, *,
+                     tech: TechParams = DEFAULT_TECH) -> float:
+    """Raw lane-critical-path delay of a single-cycle SIMD op."""
+    lane = dtype.value
+    delay = tech.base_ps
+    if opcode in _ADDER_LANE_OPS:
+        delay += ks_adder_delay_ps(lane, width=64, tech=tech)
+    elif opcode in _CMP_LANE_OPS:
+        delay += ks_adder_delay_ps(lane, width=64, tech=tech) + tech.cmp_mux_ps
+    elif opcode in _LOGIC_LANE_OPS:
+        delay += logic_unit_delay_ps(tech=tech)
+    elif opcode in _SHIFT_LANE_OPS:
+        delay += barrel_shifter_delay_ps(lane, word_width=64, tech=tech)
+    elif opcode in _MOVE_LANE_OPS:
+        delay += logic_unit_delay_ps(tech=tech) - 20.0  # bare mux/broadcast
+    else:
+        raise ValueError(f"{opcode} is not a single-cycle SIMD op")
+    return delay
+
+
+def vmla_accumulate_delay_ps(dtype: SimdType, *,
+                             tech: TechParams = DEFAULT_TECH) -> float:
+    """Delay of VMLA's final accumulate-add stage (late-forwardable)."""
+    return tech.base_ps + ks_adder_delay_ps(dtype.value, width=64, tech=tech)
+
+
+def type_slack_table(*, tech: TechParams = DEFAULT_TECH
+                     ) -> Dict[SimdType, float]:
+    """Worst single-cycle SIMD delay per data type (the 4 type buckets)."""
+    table: Dict[SimdType, float] = {}
+    for dtype in SimdType:
+        worst = max(
+            simd_op_delay_ps(op, dtype, tech=tech)
+            for op in (_ADDER_LANE_OPS | _CMP_LANE_OPS | _LOGIC_LANE_OPS
+                       | _SHIFT_LANE_OPS))
+        table[dtype] = max(worst, vmla_accumulate_delay_ps(dtype, tech=tech))
+    return table

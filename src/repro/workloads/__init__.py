@@ -1,0 +1,16 @@
+"""Workload substrate: MiBench-like, ML (Table II) and SPEC-like suites."""
+
+from .mibench import MIBENCH, bitcount, corners, crc32, gsm, stringsearch
+from .mlkernels import ML_KERNELS, conv3x3, pool_avg, pool_max, relu, softmax
+from .speclike import SPECLIKE, SPEC_PROFILES, SpecProfile, build_spec, make_spec
+from .microbench import MICROBENCHES, MicroBench
+from .suites import SUITES, SUITE_LABELS, all_benchmarks, build_all, build_suite
+
+__all__ = [
+    "MIBENCH", "MICROBENCHES", "ML_KERNELS", "MicroBench",
+    "SPECLIKE", "SPEC_PROFILES", "SUITES",
+    "SUITE_LABELS", "SpecProfile", "all_benchmarks", "bitcount",
+    "build_all", "build_spec", "build_suite", "conv3x3", "corners",
+    "crc32", "gsm", "make_spec", "pool_avg", "pool_max", "relu",
+    "softmax", "stringsearch",
+]

@@ -1,0 +1,140 @@
+"""Characterisation microbenchmarks: one kernel per slack class.
+
+Each microbenchmark is a loop-carried dependence chain of a single
+operation class, so its recycling speedup has a closed-form prediction:
+a chain of ops with EX-TIME ``t`` ticks runs at one op per cycle in the
+baseline and at ``t`` ticks per op under ReDSOC — the speedup approaches
+``ticks_per_cycle / t``.  The characterisation bench sweeps all classes
+and checks the measured factors against these predictions, pinning the
+timing model and scheduler together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.isa import Asm, Cond, Program, ShiftOp, SimdType, r, v
+
+
+@dataclass(frozen=True)
+class MicroBench:
+    """One characterisation kernel."""
+
+    name: str
+    #: mean EX-TIME (ticks) per chain op at the default tick base
+    chain_ticks: float
+    build: Callable[[int], Program]
+
+    def predicted_speedup(self, ticks_per_cycle: int = 8) -> float:
+        """Closed-form chain-speedup prediction.
+
+        A chain of t-tick ops sustains t ticks/op when t >= half a
+        cycle (each op crosses an edge and the next catches it via a
+        conventional wakeup).  Below half a cycle the *EGPW pairing
+        bound* applies: eager wakeup reaches exactly one level past the
+        parent, so at most two chained ops issue per cycle — the
+        effective cost floor is ticks_per_cycle / 2 per op.
+        """
+        effective = max(self.chain_ticks, ticks_per_cycle / 2)
+        return ticks_per_cycle / effective - 1.0
+
+
+def _loop(name: str, body, *, iters: int, setup=None) -> Program:
+    a = Asm(name)
+    a.mov(r(1), 0x5A5A5A5A)
+    a.mov(r(2), iters)
+    if setup:
+        setup(a)
+    a.label("loop")
+    body(a)
+    a.subs(r(2), r(2), 1)
+    a.b("loop", cond=Cond.NE)
+    a.halt()
+    return a.finish()
+
+
+def logic_chain(iters: int = 800) -> Program:
+    """Pure bitwise-logic chain: the 3-tick bucket."""
+    def body(a):
+        for _ in range(4):
+            a.eor(r(1), r(1), 0x33CC33CC)
+    return _loop("ub-logic", body, iters=iters)
+
+
+def shift_chain(iters: int = 800) -> Program:
+    """Standalone rotate chain: the logic+shift (5-tick) bucket."""
+    def body(a):
+        for _ in range(4):
+            a.ror(r(1), r(1), 7)
+    return _loop("ub-shift", body, iters=iters)
+
+
+def narrow_arith_chain(iters: int = 800) -> Program:
+    """Narrow (8-bit-class) add chain: the 5-tick arithmetic bucket."""
+    def body(a):
+        for _ in range(4):
+            a.add(r(1), r(1), 3)
+            a.and_(r(1), r(1), 0x3F)
+    def setup(a):
+        a.mov(r(1), 5)
+    return _loop("ub-narrow", body, iters=iters, setup=setup)
+
+
+def wide_arith_chain(iters: int = 800) -> Program:
+    """Full-width add chain: the 7-tick arithmetic bucket."""
+    def body(a):
+        for _ in range(4):
+            a.add(r(1), r(1), 0x10000001)
+    def setup(a):
+        a.mov(r(1), 0x40000000)
+    return _loop("ub-wide", body, iters=iters, setup=setup)
+
+
+def flex_chain(iters: int = 800) -> Program:
+    """Shift-modified full-width arithmetic: the 8-tick (no-slack)
+    bucket — the control case that must not accelerate."""
+    def body(a):
+        for _ in range(4):
+            a.add(r(1), r(1), r(1), shift=ShiftOp.ROR, shift_amt=5)
+    def setup(a):
+        a.mov(r(1), 0x7FFFFFF1)
+    return _loop("ub-flex", body, iters=iters, setup=setup)
+
+
+def simd_i8_chain(iters: int = 800) -> Program:
+    """Dependent VADD.I8 chain: the narrowest Type-Slack bucket."""
+    def body(a):
+        for _ in range(3):
+            a.vadd(v(0), v(0), v(1), SimdType.I8)
+    def setup(a):
+        a.mov(r(3), 1)
+        a.vdup(v(0), r(3), SimdType.I8)
+        a.vdup(v(1), r(3), SimdType.I8)
+    return _loop("ub-simd8", body, iters=iters, setup=setup)
+
+
+def simd_i64_chain(iters: int = 800) -> Program:
+    """Dependent VADD.I64 chain: the full-cycle SIMD bucket (control)."""
+    def body(a):
+        for _ in range(3):
+            a.vadd(v(0), v(0), v(1), SimdType.I64)
+    def setup(a):
+        a.mov(r(3), 1)
+        a.vdup(v(0), r(3), SimdType.I64)
+        a.vdup(v(1), r(3), SimdType.I64)
+    return _loop("ub-simd64", body, iters=iters, setup=setup)
+
+
+#: the characterisation suite, keyed by name, with the chain's bucket
+#: EX-TIME at the default technology/precision
+MICROBENCHES: Dict[str, MicroBench] = {
+    "logic": MicroBench("logic", 3, logic_chain),
+    "shift": MicroBench("shift", 5, shift_chain),
+    # the narrow chain alternates 5-tick adds with 3-tick masks
+    "narrow-arith": MicroBench("narrow-arith", 4.0, narrow_arith_chain),
+    "wide-arith": MicroBench("wide-arith", 7, wide_arith_chain),
+    "flex-arith": MicroBench("flex-arith", 8, flex_chain),
+    "simd-i8": MicroBench("simd-i8", 5, simd_i8_chain),
+    "simd-i64": MicroBench("simd-i64", 8, simd_i64_chain),
+}

@@ -1,0 +1,276 @@
+"""Machine-learning kernels with NEON-like SIMD (Table II).
+
+The paper evaluates ARM Compute Library kernels compiled with NEON
+vectorisation: CONV (3×3 Gaussian), ACT (ReLU), POOL0/1 (2×2 max /
+average) and SOFTMAX.  These builders implement the same arithmetic on
+our micro-ISA's 128-bit SIMD unit with the data types the kernels use in
+practice (I8 activations, I16 accumulation) — the *Type-Slack* source:
+lane width is declared in the instruction, so slack is known at decode
+with certainty.
+
+Addressing note: pooling is computed as a sliding window (the strided
+subsample would need element-extract ops the micro-ISA omits); the
+operation mix and dataflow — which is what the timing model consumes —
+match the strided kernel.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa import Asm, Cond, Program, SimdType, r, v
+
+_IMG_BASE = 0x4000
+_OUT_BASE = 0x20000
+_COEF_BASE = 0x800
+
+
+def _image_bytes(count: int, seed: int, *, lo: int = 0,
+                 hi: int = 255) -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.randrange(lo, hi + 1) for _ in range(count))
+
+
+def _image_words16(count: int, seed: int, *, max_value: int = 255) -> bytes:
+    """Little-endian int16 pixels (small magnitudes: ML-typical data)."""
+    rng = random.Random(seed)
+    out = bytearray()
+    for _ in range(count):
+        out += rng.randrange(0, max_value + 1).to_bytes(2, "little")
+    return bytes(out)
+
+
+def _warm_region(a: Asm, base: int, size: int, label: str) -> None:
+    """Prologue touching every line of ``[base, base+size)``.
+
+    In a real pipeline these kernels consume the previous stage's output
+    (resident in cache); our programs are single-pass, so without this
+    the measurement would be dominated by one-time cold DRAM misses that
+    the paper's multi-million-instruction Simpoints amortise away.
+    """
+    a.mov(r(25), base)
+    a.mov(r(27), (size + 63) // 64)
+    a.label(label)
+    a.ldr(r(26), r(25))
+    a.add(r(25), r(25), 64)
+    a.subs(r(27), r(27), 1)
+    a.b(label, cond=Cond.NE)
+
+
+def conv3x3(scale: int = 6) -> Program:
+    """3×3 Gaussian convolution, I16 lanes with VMLA accumulation.
+
+    kernel = [[1,2,1],[2,4,2],[1,2,1]] / 16.  Eight output pixels per
+    iteration: 9 unaligned vector loads feed a VMLA chain whose
+    accumulate operand late-forwards (Sec. V) — the dependence pattern
+    that lets ReDSOC recycle the narrow-lane slack.
+    """
+    width = 64                      # pixels per row (int16)
+    rows = 2 + 2 * scale
+    row_bytes = width * 2
+    a = Asm("conv")
+    a.data(_IMG_BASE, _image_words16(width * rows, 0xC04))
+    weights = [1, 2, 1, 2, 4, 2, 1, 2, 1]
+    _warm_region(a, _IMG_BASE, width * rows * 2, "warm")
+    a.mov(r(1), _IMG_BASE + row_bytes)      # centre-row cursor
+    a.mov(r(2), _OUT_BASE)
+    a.mov(r(3), (rows - 2))                 # output rows
+    a.mov(r(9), 4)
+    a.vdup(v(15), r(9), SimdType.I16)       # shift amount (>>4)
+    # the 9 tap-weight vectors are loop-invariant: hoisted like a
+    # compiler would
+    for i, w in enumerate(weights):
+        a.mov(r(9), w)
+        a.vdup(v(4 + i), r(9), SimdType.I16)
+    blocks = (width - 8) // 8               # 8-lane output blocks per row
+    a.label("row")
+    a.mov(r(5), 0)                          # column byte offset
+    a.mov(r(6), blocks)
+    a.label("col")
+    a.mov(r(4), 0)                          # zero accumulator seed
+    a.vdup(v(0), r(4), SimdType.I16)
+    for i in range(9):
+        dy, dx = divmod(i, 3)
+        offset = (dy - 1) * row_bytes + (dx - 1) * 2
+        a.vld1(v(1), r(1), offset, index=r(5))
+        a.vmla(v(0), v(1), v(4 + i), SimdType.I16)
+    a.vshr(v(0), v(0), v(15), SimdType.I16)  # /16 normalisation
+    a.vst1(v(0), r(2), 0, index=r(5))
+    a.add(r(5), r(5), 16)
+    a.subs(r(6), r(6), 1)
+    a.b("col", cond=Cond.NE)
+    a.add(r(1), r(1), row_bytes)
+    a.add(r(2), r(2), row_bytes)
+    a.subs(r(3), r(3), 1)
+    a.b("row", cond=Cond.NE)
+    a.halt()
+    return a.finish()
+
+
+def relu(scale: int = 24) -> Program:
+    """ACT: ReLU over an I8 activation buffer via VMAX with zero.
+
+    Byte lanes → the narrowest Type-Slack bucket; the kernel is
+    load/compute/store streaming, so memory behaviour (prefetch-friendly
+    but L1-missing on first touch) caps the gains, as the paper notes
+    for ACT.
+    """
+    count = 16 * 8 * scale
+    a = Asm("act")
+    # signed bytes: half the activations negative
+    a.data(_IMG_BASE, _image_bytes(count, 0xAC7, lo=0, hi=255))
+    a.mov(r(1), _IMG_BASE)
+    a.mov(r(2), _OUT_BASE)
+    a.mov(r(3), count // 16)
+    a.mov(r(4), 0)
+    a.vdup(v(1), r(4), SimdType.I8)
+    a.label("block")
+    a.vld1(v(0), r(1))
+    a.vmax(v(2), v(0), v(1), SimdType.I8)
+    a.vst1(v(2), r(2))
+    a.add(r(1), r(1), 16)
+    a.add(r(2), r(2), 16)
+    a.subs(r(3), r(3), 1)
+    a.b("block", cond=Cond.NE)
+    a.halt()
+    return a.finish()
+
+
+def pool_max(scale: int = 12) -> Program:
+    """POOL0: 2×2 max pooling, I8 lanes (vertical + horizontal VMAX)."""
+    width = 256
+    rows = 2 * (1 + scale)
+    a = Asm("pool0")
+    a.data(_IMG_BASE, _image_bytes(width * rows, 0xA08))
+    _warm_region(a, _IMG_BASE, width * rows, "warm")
+    a.mov(r(1), _IMG_BASE)
+    a.mov(r(2), _OUT_BASE)
+    a.mov(r(3), rows // 2)
+    a.label("rowpair")
+    a.mov(r(4), 0)                       # column cursor
+    a.label("col")
+    a.vld1(v(0), r(1), 0, index=r(4))
+    a.vld1(v(1), r(1), width, index=r(4))
+    a.vmax(v(2), v(0), v(1), SimdType.I8)    # vertical max
+    a.vld1(v(3), r(1), 1, index=r(4))
+    a.vld1(v(4), r(1), width + 1, index=r(4))
+    a.vmax(v(5), v(3), v(4), SimdType.I8)
+    a.vmax(v(6), v(2), v(5), SimdType.I8)    # horizontal merge
+    a.vst1(v(6), r(2), 0, index=r(4))
+    a.add(r(4), r(4), 16)
+    a.cmp(r(4), width)
+    a.b("col", cond=Cond.NE)
+    a.add(r(1), r(1), 2 * width)
+    a.add(r(2), r(2), width)
+    a.subs(r(3), r(3), 1)
+    a.b("rowpair", cond=Cond.NE)
+    a.halt()
+    return a.finish()
+
+
+def pool_avg(scale: int = 12) -> Program:
+    """POOL1: 2×2 average pooling, I16 lanes (VADD + VSHR)."""
+    width = 128                          # int16 pixels per row
+    rows = 2 * (1 + scale)
+    row_bytes = width * 2
+    a = Asm("pool1")
+    a.data(_IMG_BASE, _image_words16(width * rows, 0xA16))
+    _warm_region(a, _IMG_BASE, width * rows * 2, "warm")
+    a.mov(r(1), _IMG_BASE)
+    a.mov(r(2), _OUT_BASE)
+    a.mov(r(3), rows // 2)
+    a.mov(r(4), 2)
+    a.vdup(v(7), r(4), SimdType.I16)     # shift amount (/4)
+    a.label("rowpair")
+    a.mov(r(4), 0)
+    a.label("col")
+    a.vld1(v(0), r(1), 0, index=r(4))
+    a.vld1(v(1), r(1), row_bytes, index=r(4))
+    a.vadd(v(2), v(0), v(1), SimdType.I16)
+    a.vld1(v(3), r(1), 2, index=r(4))
+    a.vld1(v(4), r(1), row_bytes + 2, index=r(4))
+    a.vadd(v(5), v(3), v(4), SimdType.I16)
+    a.vadd(v(6), v(2), v(5), SimdType.I16)
+    a.vshr(v(6), v(6), v(7), SimdType.I16)
+    a.vst1(v(6), r(2), 0, index=r(4))
+    a.add(r(4), r(4), 16)
+    a.cmp(r(4), row_bytes)
+    a.b("col", cond=Cond.NE)
+    a.add(r(1), r(1), 2 * row_bytes)
+    a.add(r(2), r(2), row_bytes)
+    a.subs(r(3), r(3), 1)
+    a.b("rowpair", cond=Cond.NE)
+    a.halt()
+    return a.finish()
+
+
+def softmax(scale: int = 10) -> Program:
+    """SOFTMAX over `8*scale` Q8.8 fixed-point logits (scalar).
+
+    Three passes: max-reduce, exp approximation (quadratic polynomial in
+    fixed point: 1 + x + x²/2) with running sum, then normalising
+    divides — the mul/div-heavy mix that limits SOFTMAX's speedup.
+    """
+    count = 8 * scale
+    rng = random.Random(0x50F7)
+    logits = [rng.randrange(0, 1 << 10) for _ in range(count)]
+    a = Asm("softmax")
+    a.data_words(_IMG_BASE, logits)
+    # pass 1: max
+    a.mov(r(1), _IMG_BASE)
+    a.mov(r(2), count)
+    a.mov(r(3), 0)                       # running max
+    a.label("maxloop")
+    a.ldr(r(4), r(1))
+    a.cmp(r(4), r(3))
+    a.b("notmax", cond=Cond.LE)
+    a.mov(r(3), r(4))
+    a.label("notmax")
+    a.add(r(1), r(1), 4)
+    a.subs(r(2), r(2), 1)
+    a.b("maxloop", cond=Cond.NE)
+    # pass 2: exp(x - max) in Q8.8, accumulate sum
+    a.mov(r(1), _IMG_BASE)
+    a.mov(r(2), count)
+    a.mov(r(5), 0)                       # sum
+    a.mov(r(6), _OUT_BASE)
+    a.label("exploop")
+    a.ldr(r(4), r(1))
+    a.sub(r(4), r(4), r(3))              # x - max  (<= 0)
+    a.asr(r(4), r(4), 2)                 # temper the range
+    a.mul(r(7), r(4), r(4))
+    a.asr(r(7), r(7), 9)                 # x^2 / 2 in Q8.8
+    a.add(r(8), r(4), 256)               # 1 + x
+    a.adds(r(8), r(8), r(7))             # + x^2/2
+    a.b("clip", cond=Cond.GE)
+    a.mov(r(8), 1)                       # exp never reaches zero
+    a.label("clip")
+    a.str_(r(8), r(6))
+    a.add(r(5), r(5), r(8))
+    a.add(r(1), r(1), 4)
+    a.add(r(6), r(6), 4)
+    a.subs(r(2), r(2), 1)
+    a.b("exploop", cond=Cond.NE)
+    # pass 3: normalise
+    a.mov(r(2), count)
+    a.mov(r(6), _OUT_BASE)
+    a.label("normloop")
+    a.ldr(r(4), r(6))
+    a.lsl(r(4), r(4), 8)
+    a.udiv(r(4), r(4), r(5))
+    a.str_(r(4), r(6))
+    a.add(r(6), r(6), 4)
+    a.subs(r(2), r(2), 1)
+    a.b("normloop", cond=Cond.NE)
+    a.halt()
+    return a.finish()
+
+
+#: Builder registry in the paper's Fig. 10/13 order (Table II).
+ML_KERNELS = {
+    "act": relu,
+    "pool0": pool_max,
+    "conv": conv3x3,
+    "pool1": pool_avg,
+    "softmax": softmax,
+}

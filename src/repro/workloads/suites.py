@@ -1,0 +1,73 @@
+"""Benchmark-suite registry: the paper's three workload classes.
+
+``SUITES`` maps a suite name to an ordered ``{benchmark: builder}``
+mapping; each builder takes a ``scale`` keyword and returns a
+:class:`~repro.isa.program.Program`.  :func:`build_suite` /
+:func:`build_all` instantiate programs at a chosen scale, and
+:func:`default_scale` provides per-suite sizes that keep full-evaluation
+runs tractable in the Python timing model while staying long enough for
+steady-state behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.isa import Program
+
+from .mibench import MIBENCH
+from .mlkernels import ML_KERNELS
+from .speclike import SPECLIKE
+
+Builder = Callable[..., Program]
+
+SUITES: Dict[str, Dict[str, Builder]] = {
+    "spec": dict(SPECLIKE),
+    "mibench": dict(MIBENCH),
+    "ml": dict(ML_KERNELS),
+}
+
+#: Pretty labels used by the benchmark reports (Fig. 10/13 x-axis).
+SUITE_LABELS = {"spec": "SPEC", "mibench": "MiB", "ml": "ML"}
+
+#: Default per-benchmark scales for the benchmark harness.  Chosen so
+#: each benchmark runs ~8k-40k dynamic instructions: long enough for
+#: predictor warm-up and steady-state recycling, short enough that the
+#: full 3-core × 4-mode evaluation stays tractable in pure Python.
+DEFAULT_SCALES: Dict[str, Dict[str, int]] = {
+    "spec": {name: 100 for name in SPECLIKE},
+    "mibench": {"corners": 6, "strsearch": 25, "gsm": 30, "crc": 1600,
+                "bitcnt": 110},
+    "ml": {"act": 250, "pool0": 45, "conv": 36, "pool1": 45,
+           "softmax": 60},
+}
+
+
+def default_scale(suite: str, benchmark: str) -> Dict[str, int]:
+    """kwargs to pass a builder for full-evaluation runs."""
+    scale = DEFAULT_SCALES.get(suite, {}).get(benchmark)
+    return {} if scale is None else {"scale": scale}
+
+
+def build_suite(suite: str, *, scale_override: Dict[str, int] = None
+                ) -> Dict[str, Program]:
+    """Instantiate every benchmark of *suite*."""
+    programs = {}
+    for name, builder in SUITES[suite].items():
+        kwargs = dict(default_scale(suite, name))
+        if scale_override and name in scale_override:
+            kwargs = {"scale": scale_override[name]}
+        programs[name] = builder(**kwargs)
+    return programs
+
+
+def build_all() -> Dict[str, Dict[str, Program]]:
+    """Instantiate the full evaluation set, suite by suite."""
+    return {suite: build_suite(suite) for suite in SUITES}
+
+
+def all_benchmarks():
+    """Iterate ``(suite, benchmark, builder)`` in evaluation order."""
+    for suite, table in SUITES.items():
+        for name, builder in table.items():
+            yield suite, name, builder

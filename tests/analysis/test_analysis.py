@@ -1,0 +1,99 @@
+"""Unit tests for statistics, power conversion and report rendering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    DVFSModel,
+    OpDistribution,
+    SimStats,
+    power_savings_from_speedup,
+    speedup,
+)
+from repro.analysis.report import format_table, percent
+
+
+class TestOpDistribution:
+    def test_fractions_sum_to_one(self):
+        dist = OpDistribution()
+        dist.add("ALU-HS")
+        dist.add("ALU-HS")
+        dist.add("MEM-LL")
+        dist.add("SIMD")
+        fractions = dist.fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-12
+        assert fractions["ALU-HS"] == 0.5
+
+    def test_empty_distribution(self):
+        dist = OpDistribution()
+        assert dist.total == 0
+        assert dist.fraction("SIMD") == 0.0
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(KeyError):
+            OpDistribution().add("BOGUS")
+
+
+class TestSimStats:
+    def test_ipc(self):
+        stats = SimStats(cycles=100, committed=250)
+        assert stats.ipc == 2.5
+
+    def test_zero_cycles_safe(self):
+        assert SimStats().ipc == 0.0
+        assert SimStats().fu_stall_rate == 0.0
+
+    def test_branch_accuracy(self):
+        stats = SimStats(branches=100, branch_mispredicts=4)
+        assert stats.branch_accuracy == 0.96
+
+    def test_speedup_helper(self):
+        assert speedup(120, 100) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            speedup(100, 0)
+
+
+class TestPowerModel:
+    def test_zero_speedup_zero_savings(self):
+        assert power_savings_from_speedup(0.0) == pytest.approx(0.0)
+
+    def test_negative_speedup_clamped(self):
+        assert power_savings_from_speedup(-0.1) == 0.0
+
+    def test_paper_bands(self):
+        """SPEC 8-15%, MiBench 12-36%, ML 8-18% from their speedups."""
+        assert 0.05 < power_savings_from_speedup(0.08) < 0.16
+        assert 0.12 < power_savings_from_speedup(0.23) < 0.36
+        assert 0.05 < power_savings_from_speedup(0.10) < 0.20
+
+    def test_voltage_clamps_at_range_edges(self):
+        model = DVFSModel()
+        assert model.voltage_at(0.1) == model.v_min
+        assert model.voltage_at(5.0) == model.v_nominal
+
+    def test_relative_power_nominal_is_one(self):
+        model = DVFSModel()
+        assert model.relative_power(model.f_nominal_ghz) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_savings_monotone_in_speedup(self, s):
+        assert (power_savings_from_speedup(s + 0.05)
+                >= power_savings_from_speedup(s) - 1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=2.0))
+    def test_savings_bounded(self, s):
+        value = power_savings_from_speedup(s)
+        assert 0.0 <= value < 1.0
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table("T", ["a", "bb"], [(1, 2.5), ("xx", "y")])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len({len(l) for l in lines[3:]}) <= 2  # aligned columns
+
+    def test_percent(self):
+        assert percent(0.123) == "12.3%"

@@ -1,0 +1,91 @@
+"""Unit tests for the dataflow critical-path analyzer."""
+
+from repro.analysis.critical_path import analyze_critical_path
+from repro.core import BIG, RecycleMode, simulate
+from repro.isa import Asm, Cond, r
+from repro.pipeline.trace import generate_trace
+
+
+def chain_program(op_builder, iters=200, name="chain"):
+    a = Asm(name)
+    a.mov(r(1), 1)
+    a.mov(r(2), iters)
+    a.label("loop")
+    op_builder(a)
+    a.subs(r(2), r(2), 1)
+    a.b("loop", cond=Cond.NE)
+    a.halt()
+    return a.finish()
+
+
+def logic_chain(a):
+    for _ in range(4):
+        a.eor(r(1), r(1), 0x5A)
+
+
+class TestBounds:
+    def test_logic_chain_bound_is_large(self):
+        trace = generate_trace(chain_program(logic_chain))
+        result = analyze_critical_path(trace)
+        # logic ops are 3/8 of a cycle: the dataflow bound approaches
+        # 8/3 - 1 ≈ 1.67 for a pure chain (flag ops dilute it a little)
+        assert result.bound_speedup > 0.8
+
+    def test_arith_chain_bound_matches_ticks(self):
+        def arith(a):
+            for _ in range(4):
+                a.add(r(1), r(1), 0x1000000)
+        trace = generate_trace(chain_program(arith))
+        result = analyze_critical_path(trace)
+        # full-width adds: 7 ticks -> bound ~8/7-1
+        assert 0.05 < result.bound_speedup < 0.35
+
+    def test_multicycle_chain_has_no_slack_bound(self):
+        def muls(a):
+            a.mul(r(1), r(1), r(1))
+        trace = generate_trace(chain_program(muls, iters=50))
+        result = analyze_critical_path(trace)
+        assert result.bound_speedup < 0.05
+
+    def test_synchronous_ticks_are_edge_aligned_per_link(self):
+        trace = generate_trace(chain_program(logic_chain, iters=10))
+        result = analyze_critical_path(trace)
+        assert result.synchronous_ticks % 8 == 0
+
+    def test_transparent_never_longer_than_synchronous(self):
+        for builder in (logic_chain,
+                        lambda a: a.mul(r(1), r(1), r(1)),
+                        lambda a: a.ldr(r(1), r(2))):
+            trace = generate_trace(chain_program(builder, iters=30))
+            result = analyze_critical_path(trace)
+            assert result.transparent_ticks <= result.synchronous_ticks
+
+
+class TestBoundsVsSimulation:
+    def test_measured_speedup_below_dataflow_bound(self):
+        """No implementation may beat the ideal-machine bound."""
+        program = chain_program(logic_chain, iters=400)
+        trace = generate_trace(program)
+        bound = analyze_critical_path(trace).bound_speedup
+        base = simulate(trace, BIG.with_mode(RecycleMode.BASELINE))
+        red = simulate(trace, BIG.with_mode(RecycleMode.REDSOC))
+        measured = base.cycles / red.cycles - 1
+        assert measured <= bound + 0.31  # + parallel-iteration effects
+
+    def test_bound_explains_low_speedup_kernels(self):
+        """A loop-carried chain of full-width shift-modified arithmetic
+        (8-tick ops, zero slack) bounds recycling near zero; only the
+        parallel loop-counter chain contributes any slack at all."""
+        from repro.isa import Asm, ShiftOp
+        a = Asm("flex")
+        a.mov(r(3), 0x7FFFFFFF)
+        a.mov(r(2), 100)
+        a.label("loop")
+        for _ in range(3):
+            a.add(r(3), r(3), r(3), shift=ShiftOp.ROR, shift_amt=3)
+        a.subs(r(2), r(2), 1)
+        a.b("loop", cond=Cond.NE)
+        a.halt()
+        trace = generate_trace(a.finish())
+        result = analyze_critical_path(trace)
+        assert result.bound_speedup < 0.20

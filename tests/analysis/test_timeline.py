@@ -1,0 +1,58 @@
+"""Unit tests for the ASCII execution-timeline renderer."""
+
+from repro.analysis.timeline import Window, render_uops, render_windows
+from repro.core import CORES
+from repro.core.audit import _RecordingSimulator
+from repro.pipeline.trace import generate_trace
+from repro.workloads.microbench import MICROBENCHES
+
+
+class TestRenderWindows:
+    def test_empty(self):
+        assert render_windows([]) == "(no windows)"
+
+    def test_single_window_marks_right_ticks(self):
+        text = render_windows([Window("x1", 11, 14)])
+        ruler, row = text.splitlines()
+        # the row marks exactly 3 ticks
+        assert row.count("#") == 3
+        # ticks 11..13 fall in cycle 1 (the only rendered cycle)
+        cycle1 = row.split("|")[1]
+        assert cycle1 == "   ###  "
+
+    def test_edges_are_cycle_aligned(self):
+        text = render_windows([Window("a", 0, 8), Window("b", 8, 16)])
+        rows = text.splitlines()[1:]
+        a_cells = rows[0].split("|")[1:-1]
+        b_cells = rows[1].split("|")[1:-1]
+        assert a_cells[0] == "########" and a_cells[1] == "        "
+        assert b_cells[0] == "        " and b_cells[1] == "########"
+
+    def test_note_appended(self):
+        text = render_windows([Window("x", 3, 12, note="holds")])
+        assert "(holds)" in text
+
+    def test_cycle_range_clipping(self):
+        text = render_windows([Window("x", 0, 80)], from_cycle=2,
+                              to_cycle=4)
+        ruler = text.splitlines()[0]
+        assert "|2" in ruler and "|3" in ruler and "|5" not in ruler
+
+
+class TestRenderUops:
+    def test_renders_recorded_chain(self):
+        trace = generate_trace(MICROBENCHES["wide-arith"].build(10))
+        sim = _RecordingSimulator(trace, CORES["big"])
+        sim.run()
+        text = render_uops(sim.issued_log[4:12], limit=8)
+        lines = text.splitlines()
+        assert len(lines) == 9  # ruler + 8 rows
+        assert any("#" in line for line in lines[1:])
+        assert any("add" in line for line in lines[1:])
+
+    def test_eager_issue_annotated(self):
+        trace = generate_trace(MICROBENCHES["logic"].build(30))
+        sim = _RecordingSimulator(trace, CORES["big"])
+        sim.run()
+        text = render_uops(sim.issued_log, limit=30)
+        assert "eager issue" in text

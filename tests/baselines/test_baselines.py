@@ -1,0 +1,100 @@
+"""Unit tests for the TS and MOS comparator models."""
+
+from repro.baselines import TSConfig, analyze_ts, simulate_mos
+from repro.core import BIG, RecycleMode, simulate
+from repro.isa import Asm, Cond, ShiftOp, r
+from repro.pipeline.trace import generate_trace
+
+
+def loop_program(name, body, iters=200):
+    a = Asm(name)
+    a.mov(r(1), 1)
+    a.mov(r(2), iters)
+    a.label("loop")
+    body(a)
+    a.subs(r(2), r(2), 1)
+    a.b("loop", cond=Cond.NE)
+    a.halt()
+    return a.finish()
+
+
+def logic_body(a):
+    for _ in range(4):
+        a.eor(r(1), r(1), 0x33)
+
+
+def flex_body(a):
+    for _ in range(4):
+        a.add(r(1), r(1), r(1), shift=ShiftOp.LSR, shift_amt=3)
+
+
+class TestTS:
+    def test_error_rate_within_budget(self):
+        trace = generate_trace(loop_program("logic", logic_body))
+        result = analyze_ts(trace)
+        assert result.error_rate <= TSConfig().error_budget
+
+    def test_period_never_exceeds_nominal(self):
+        trace = generate_trace(loop_program("logic", logic_body))
+        result = analyze_ts(trace)
+        assert result.period_ps <= 500.0
+        assert result.speedup >= 0.0
+
+    def test_flex_heavy_code_limits_ts(self):
+        """Shift-modified arithmetic occupies nearly the whole cycle on
+        >1% of ops -> TS cannot raise frequency meaningfully."""
+        flex = analyze_ts(generate_trace(loop_program("flex", flex_body)))
+        logic = analyze_ts(generate_trace(loop_program("logic",
+                                                       logic_body)))
+        assert flex.speedup <= logic.speedup
+        assert flex.speedup < 0.05
+
+    def test_stage_margin_caps_speedup(self):
+        """Conventional pipeline stages bound TS regardless of ALU mix."""
+        trace = generate_trace(loop_program("logic", logic_body))
+        tight = analyze_ts(trace, TSConfig(stage_margin=0.02))
+        loose = analyze_ts(trace, TSConfig(stage_margin=0.10))
+        assert tight.speedup <= loose.speedup
+        assert tight.speedup <= 0.03 / 0.97 + 1e-6
+
+    def test_bigger_budget_not_slower(self):
+        trace = generate_trace(loop_program("logic", logic_body))
+        tight = analyze_ts(trace, TSConfig(error_budget=1e-4))
+        loose = analyze_ts(trace, TSConfig(error_budget=1e-2))
+        assert loose.speedup >= tight.speedup
+
+    def test_redsoc_beats_ts_on_chains(self):
+        """The paper's headline comparison on recycling-friendly code."""
+        program = loop_program("logic", logic_body, iters=400)
+        trace = generate_trace(program)
+        base = simulate(trace, BIG.with_mode(RecycleMode.BASELINE))
+        red = simulate(trace, BIG.with_mode(RecycleMode.REDSOC))
+        redsoc_speedup = base.cycles / red.cycles - 1
+        ts = analyze_ts(trace)
+        assert redsoc_speedup > 2 * ts.speedup
+
+
+class TestMOS:
+    def test_mos_runs_and_never_breaks_results(self):
+        program = loop_program("logic", logic_body, iters=150)
+        trace = generate_trace(program)
+        mos = simulate_mos(trace, BIG)
+        assert mos.stats.committed == len(trace)
+
+    def test_mos_never_crosses_cycle_boundaries(self):
+        program = loop_program("logic", logic_body, iters=150)
+        mos = simulate_mos(program, BIG)
+        assert mos.stats.two_cycle_holds == 0
+
+    def test_mos_between_baseline_and_redsoc_on_mixed_chain(self):
+        def mixed(a):
+            a.eor(r(1), r(1), 3)
+            a.add(r(1), r(1), 0x1000000)
+            a.ror(r(1), r(1), 5)
+            a.orr(r(1), r(1), 0x10)
+        program = loop_program("mixed", mixed, iters=300)
+        trace = generate_trace(program)
+        base = simulate(trace, BIG.with_mode(RecycleMode.BASELINE))
+        mos = simulate_mos(trace, BIG)
+        red = simulate(trace, BIG.with_mode(RecycleMode.REDSOC))
+        assert red.cycles <= mos.cycles <= base.cycles * 1.01

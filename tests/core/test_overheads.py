@@ -1,0 +1,67 @@
+"""Unit tests for the hardware-overhead accounting."""
+
+import pytest
+
+from repro.core import CORES
+from repro.core.overheads import (
+    StructureCost,
+    baseline_inventory,
+    overhead_report,
+    redsoc_additions,
+)
+
+
+class TestStructureCost:
+    def test_energy_is_area_times_activity(self):
+        s = StructureCost("x", area=100.0, access_rate=0.5,
+                          energy_per_access=0.2)
+        assert s.energy == pytest.approx(10.0)
+
+
+class TestInventories:
+    def test_baseline_has_all_major_structures(self):
+        inv = baseline_inventory()
+        for name in ("L1D cache", "L1I cache", "ROB", "LSQ", "RSE",
+                     "register file", "execute units"):
+            assert name in inv
+            assert inv[name].area > 0
+
+    def test_additions_cover_the_papers_list(self):
+        extra = redsoc_additions()
+        for name in ("slack LUT", "width predictor",
+                     "last-arrival predictor", "RSE slack fields",
+                     "CI bus", "transparent-FF muxes", "skewed select"):
+            assert name in extra
+
+    def test_slack_lut_is_tiny(self):
+        extra = redsoc_additions()
+        assert extra["slack LUT"].area < 300  # a few dozen bits + logic
+
+    def test_rse_additions_scale_with_entries(self):
+        small = redsoc_additions(CORES["small"])["RSE slack fields"].area
+        big = redsoc_additions(CORES["big"])["RSE slack fields"].area
+        assert big == pytest.approx(small * 128 / 32)
+
+
+class TestReport:
+    def test_total_fractions_small(self):
+        rep = overhead_report()
+        assert 0 < rep.area_fraction < 0.05
+        assert 0 < rep.energy_fraction < 0.05
+
+    def test_component_fractions_match_papers_order(self):
+        rep = overhead_report()
+        # predictors ~0.5-1%, RSE machinery ~0.3-1%, both small
+        assert rep.predictor_area_fraction < 0.02
+        assert rep.rse_area_fraction < 0.015
+        assert rep.rse_energy_fraction < 0.02
+
+    def test_select_delay_negligible(self):
+        rep = overhead_report()
+        assert rep.select_delay_ps / rep.baseline_select_delay_ps <= 0.03
+
+    def test_bigger_core_has_smaller_relative_predictor_cost(self):
+        """Predictor tables are fixed-size; the core grows."""
+        small = overhead_report(CORES["small"])
+        big = overhead_report(CORES["big"])
+        assert big.predictor_area_fraction < small.predictor_area_fraction

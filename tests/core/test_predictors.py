@@ -1,0 +1,163 @@
+"""Unit tests for the width and last-arrival predictors."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.last_arrival import LastArrivalPredictor
+from repro.core.width_predictor import MAX_WIDTH, WidthPredictor
+
+
+class TestWidthPredictorBasics:
+    def test_initial_prediction_is_conservative(self):
+        pred = WidthPredictor()
+        assert pred.predict(0x40) == MAX_WIDTH
+
+    def test_needs_saturation_before_trusting(self):
+        pred = WidthPredictor(confidence_bits=2)
+        pc = 0x10
+        pred.update(pc, 8)
+        assert pred.predict(pc) == MAX_WIDTH  # confidence 0 -> reset path
+        pred.update(pc, 8)
+        pred.update(pc, 8)
+        pred.update(pc, 8)
+        assert pred.predict(pc) == 8
+
+    def test_mismatch_resets_confidence(self):
+        pred = WidthPredictor(confidence_bits=2)
+        pc = 0x10
+        for _ in range(4):
+            pred.update(pc, 8)
+        assert pred.predict(pc) == 8
+        pred.update(pc, 32)
+        assert pred.predict(pc) == MAX_WIDTH
+
+    def test_widths_train_at_class_granularity(self):
+        pred = WidthPredictor(confidence_bits=1)
+        pc = 0
+        pred.update(pc, 11)  # class 16
+        pred.update(pc, 14)  # class 16 again -> saturates 1-bit counter
+        assert pred.predict(pc) == 16
+
+    def test_aliasing_uses_modulo_index(self):
+        pred = WidthPredictor(entries=16, confidence_bits=1)
+        pred.update(0, 8)
+        pred.update(16, 8)  # same entry
+        assert pred.predict(0) == 8
+
+    def test_state_bytes_about_1_5kb(self):
+        """Paper: 4K-entry predictor needs ~1.5 KB of state."""
+        pred = WidthPredictor(entries=4096, confidence_bits=2)
+        assert 1024 <= pred.state_bytes() <= 3072
+
+
+class TestWidthPredictorOutcomes:
+    def test_exact_outcome(self):
+        pred = WidthPredictor()
+        assert pred.record_outcome(8, 7) is False
+        assert pred.stats.exact == 1
+
+    def test_conservative_outcome_not_aggressive(self):
+        pred = WidthPredictor()
+        assert pred.record_outcome(32, 5) is False
+        assert pred.stats.conservative == 1
+
+    def test_aggressive_outcome_flagged(self):
+        pred = WidthPredictor()
+        assert pred.record_outcome(8, 20) is True
+        assert pred.stats.aggressive == 1
+
+    def test_rates(self):
+        pred = WidthPredictor()
+        pred.record_outcome(8, 7)
+        pred.record_outcome(8, 30)
+        assert pred.stats.aggressive_rate == 0.5
+        assert pred.stats.accuracy == 0.5
+
+    def test_stable_width_stream_converges(self):
+        """A PC that always sees 8-bit data ends up predicted narrow with
+        no aggressive errors."""
+        pred = WidthPredictor(confidence_bits=2)
+        pc = 0x100
+        aggressive = 0
+        for _ in range(100):
+            predicted = pred.predict(pc)
+            actual = 6
+            if pred.record_outcome(predicted, actual):
+                aggressive += 1
+            pred.update(pc, actual)
+        assert aggressive == 0
+        assert pred.predict(pc) == 8
+
+    def test_alternating_stream_stays_conservative(self):
+        """Widths that never repeat keep confidence low -> conservative
+        prediction -> zero aggressive errors (the resetting property)."""
+        pred = WidthPredictor(confidence_bits=2)
+        pc = 0x200
+        widths = [6, 30, 12, 28, 6, 30, 12, 28] * 10
+        aggressive = 0
+        for actual in widths:
+            predicted = pred.predict(pc)
+            if pred.record_outcome(predicted, actual):
+                aggressive += 1
+            pred.update(pc, actual)
+        assert aggressive == 0
+
+
+@given(st.lists(st.integers(min_value=1, max_value=32), min_size=1,
+                max_size=200))
+def test_width_predictor_aggressive_only_after_saturation(widths):
+    """Property: an aggressive error can only happen when the predictor
+    was confident, which requires `max_confidence` consecutive repeats
+    immediately before — so any aggressive error was preceded by a run of
+    the same (narrower) class."""
+    pred = WidthPredictor(entries=1, confidence_bits=2)
+    from repro.isa.semantics import width_bucket
+    history = []
+    for actual in widths:
+        predicted = pred.predict(0)
+        aggressive = pred.record_outcome(predicted, actual)
+        if aggressive:
+            assert len(history) >= 3
+            last = history[-3:]
+            assert len({width_bucket(w) for w in last}) == 1
+            assert width_bucket(last[-1]) == predicted
+        pred.update(0, actual)
+        history.append(actual)
+
+
+class TestLastArrivalPredictor:
+    def test_default_predicts_second_last(self):
+        pred = LastArrivalPredictor()
+        assert pred.predict_second_last(123) is True
+
+    def test_training_flips_prediction(self):
+        pred = LastArrivalPredictor()
+        pred.update(5, second_was_last=False)
+        assert pred.predict_second_last(5) is False
+
+    def test_outcome_accounting(self):
+        pred = LastArrivalPredictor()
+        assert pred.record_outcome(True, True) is False
+        assert pred.record_outcome(True, False) is True
+        assert pred.stats.predictions == 2
+        assert pred.stats.mispredictions == 1
+        assert pred.stats.misprediction_rate == 0.5
+
+    def test_stable_pattern_perfectly_predicted(self):
+        pred = LastArrivalPredictor()
+        pc = 77
+        wrong = 0
+        for _ in range(50):
+            predicted = pred.predict_second_last(pc)
+            if pred.record_outcome(predicted, second_was_last=False):
+                wrong += 1
+            pred.update(pc, second_was_last=False)
+        assert wrong <= 1  # only the cold first prediction can miss
+
+    def test_state_is_1k_bits(self):
+        assert LastArrivalPredictor(entries=1024).state_bytes() == 128
+
+    def test_index_aliasing(self):
+        pred = LastArrivalPredictor(entries=8)
+        pred.update(0, False)
+        assert pred.predict_second_last(8) is False

@@ -1,0 +1,147 @@
+"""Unit tests for the PVT drift / CPM / recalibration machinery."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pvt import (
+    NOMINAL_TEMP_C,
+    NOMINAL_VOLTAGE,
+    CriticalPathMonitor,
+    DriftScenario,
+    PVTCondition,
+    PVTRecalibrator,
+    SCENARIOS,
+    delay_scale,
+    recalibration_report,
+)
+from repro.core.slack_lut import SlackLUT
+
+
+class TestDelayScale:
+    def test_nominal_is_unity(self):
+        assert delay_scale(PVTCondition()) == pytest.approx(1.0)
+
+    def test_lower_voltage_is_slower(self):
+        low = delay_scale(PVTCondition(voltage=0.95))
+        assert low > 1.0
+
+    def test_hotter_is_slower(self):
+        hot = delay_scale(PVTCondition(temp_c=NOMINAL_TEMP_C + 30))
+        assert hot > 1.0
+
+    def test_fast_process_is_faster(self):
+        fast = delay_scale(PVTCondition(process=0.9))
+        assert fast < 1.0
+
+    @given(st.floats(min_value=0.85, max_value=1.2),
+           st.floats(min_value=0.0, max_value=110.0))
+    def test_scale_monotone_in_stress(self, voltage, temp):
+        base = delay_scale(PVTCondition(voltage=voltage, temp_c=temp))
+        worse = delay_scale(PVTCondition(voltage=voltage - 0.02,
+                                         temp_c=temp + 5))
+        assert worse > base
+
+
+class TestDriftScenario:
+    def test_thermal_ramp_saturates(self):
+        scenario = SCENARIOS["thermal-ramp"]
+        early = scenario.condition_at(0).temp_c
+        late = scenario.condition_at(5_000_000).temp_c
+        assert early == pytest.approx(NOMINAL_TEMP_C)
+        assert late == pytest.approx(NOMINAL_TEMP_C
+                                     + scenario.ramp_temp_c, abs=0.5)
+
+    def test_droops_are_periodic(self):
+        scenario = SCENARIOS["droopy"]
+        in_droop = scenario.condition_at(scenario.droop_period)
+        outside = scenario.condition_at(scenario.droop_period
+                                        + scenario.droop_width + 1)
+        assert in_droop.voltage < outside.voltage
+
+    def test_nominal_scenario_flat_voltage(self):
+        scenario = SCENARIOS["nominal"]
+        assert scenario.condition_at(123_456).voltage == NOMINAL_VOLTAGE
+
+    def test_corners(self):
+        assert SCENARIOS["slow-corner"].scale_at(0) > 1.0
+        assert SCENARIOS["fast-corner"].scale_at(0) < 1.0
+
+    def test_deterministic(self):
+        s = DriftScenario(name="x", droop_depth_v=0.06)
+        assert s.scale_at(70_000) == s.scale_at(70_000)
+
+
+class TestCPM:
+    def test_sensing_is_conservative(self):
+        cpm = CriticalPathMonitor()
+        assert cpm.sense(1.0) >= 1.0
+        assert cpm.sense(1.037) >= 1.037
+
+    def test_quantisation_rounds_up(self):
+        cpm = CriticalPathMonitor(quantum=0.05, guard_band=0.0)
+        assert cpm.sense(1.01) == pytest.approx(1.05)
+
+    def test_invalid_quantum_rejected(self):
+        with pytest.raises(ValueError):
+            CriticalPathMonitor(quantum=0.0)
+
+    @given(st.floats(min_value=0.8, max_value=1.3))
+    def test_never_under_reports(self, true_scale):
+        cpm = CriticalPathMonitor()
+        assert cpm.sense(true_scale) >= true_scale
+
+
+class TestRecalibrator:
+    def test_fires_on_interval(self):
+        lut = SlackLUT()
+        recal = PVTRecalibrator(lut, SCENARIOS["thermal-ramp"],
+                                interval=1000)
+        fired = sum(recal.tick(c) for c in range(0, 5000, 500))
+        assert fired == 5  # cycles 0,1000,...,4000
+        assert len(recal.events) == 5
+
+    def test_lut_tracks_drift(self):
+        lut = SlackLUT()
+        before = sum(lut.buckets().values())
+        recal = PVTRecalibrator(lut, SCENARIOS["slow-corner"],
+                                interval=1000)
+        recal.tick(1000)
+        after = sum(lut.buckets().values())
+        assert after >= before  # slow silicon -> longer EX-TIMEs
+
+    def test_report_is_safe_under_all_scenarios(self):
+        for name, scenario in SCENARIOS.items():
+            report = recalibration_report(scenario, cycles=100_000,
+                                          interval=10_000)
+            assert report["unsafe_windows"] <= report["windows"] * 0.1, name
+
+    def test_report_retains_most_slack(self):
+        report = recalibration_report(SCENARIOS["thermal-ramp"],
+                                      cycles=100_000)
+        assert report["retained_slack"] > 0.7
+
+
+class TestCornerSimulation:
+    def test_slow_corner_recycles_less(self):
+        from repro.core import BIG, RecycleMode, simulate
+        from repro.isa import Asm, Cond, r
+
+        a = Asm("chain")
+        a.mov(r(1), 1)
+        a.mov(r(2), 300)
+        a.label("loop")
+        for _ in range(4):
+            a.add(r(1), r(1), 0x1000000)
+        a.subs(r(2), r(2), 1)
+        a.b("loop", cond=Cond.NE)
+        a.halt()
+        program = a.finish()
+        base = simulate(program, BIG.with_mode(RecycleMode.BASELINE))
+        nominal = simulate(program, BIG)
+        slow = simulate(program, BIG.variant(pvt_scale=1.1))
+        fast = simulate(program, BIG.variant(pvt_scale=0.85))
+        nominal_gain = base.cycles / nominal.cycles
+        slow_gain = base.cycles / slow.cycles
+        fast_gain = base.cycles / fast.cycles
+        assert fast_gain >= nominal_gain >= slow_gain

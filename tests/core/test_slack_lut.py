@@ -1,0 +1,168 @@
+"""Unit tests for the slack LUT and 5-bit classification."""
+
+import pytest
+
+from repro.core.slack_lut import (
+    SlackKey,
+    SlackLUT,
+    WIDTH_CLASSES,
+    width_class_index,
+)
+from repro.core.ticks import TickBase
+from repro.isa import Instruction, Opcode, ShiftOp, SimdType, r, v
+
+
+@pytest.fixture(scope="module")
+def lut():
+    return SlackLUT()
+
+
+def alu(op, **kw):
+    return Instruction(op=op, rd=r(0), rn=r(1), rm=r(2), **kw)
+
+
+class TestSlackKey:
+    def test_address_roundtrip(self):
+        for addr in range(32):
+            assert SlackKey.from_address(addr).address() == addr
+
+    def test_address_is_5_bits(self):
+        key = SlackKey(arith=True, shift=True, simd=True, width_class=3)
+        assert key.address() < 32
+
+    def test_canonical_collapses_simd_dont_cares(self):
+        a = SlackKey(True, True, True, 2).canonical()
+        b = SlackKey(False, False, True, 2).canonical()
+        assert a == b
+
+    def test_canonical_collapses_logic_width(self):
+        a = SlackKey(False, False, False, 0).canonical()
+        b = SlackKey(False, False, False, 3).canonical()
+        assert a == b
+
+
+class TestBucketStructure:
+    def test_exactly_14_buckets(self, lut):
+        """2 logic + 8 arith + 4 SIMD-type = the paper's 14 categories."""
+        assert len(lut.buckets()) == 14
+
+    def test_all_ex_times_within_cycle(self, lut):
+        for ticks in lut.buckets().values():
+            assert 1 <= ticks <= lut.tick_base.ticks_per_cycle
+
+    def test_logic_bucket_fastest(self, lut):
+        logic = lut.lookup(SlackKey(False, False, False, 3))
+        assert logic == min(lut.buckets().values())
+
+    def test_arith_monotone_in_width_class(self, lut):
+        ticks = [lut.lookup(SlackKey(True, False, False, wc))
+                 for wc in range(4)]
+        assert ticks == sorted(ticks)
+
+    def test_shift_adds_delay_to_arith(self, lut):
+        for wc in range(4):
+            plain = lut.lookup(SlackKey(True, False, False, wc))
+            flex = lut.lookup(SlackKey(True, True, False, wc))
+            assert flex >= plain
+
+    def test_simd_types_monotone(self, lut):
+        ticks = [lut.lookup(SlackKey(False, False, True, wc))
+                 for wc in range(4)]
+        assert ticks == sorted(ticks)
+
+    def test_worst_bucket_uses_whole_cycle(self, lut):
+        assert max(lut.buckets().values()) == 8
+
+
+class TestClassification:
+    def test_logic_op(self, lut):
+        key = lut.classify(alu(Opcode.AND))
+        assert not key.arith and not key.shift and not key.simd
+
+    def test_arith_uses_predicted_width(self, lut):
+        narrow = lut.classify(alu(Opcode.ADD), predicted_width=8)
+        wide = lut.classify(alu(Opcode.ADD), predicted_width=32)
+        assert narrow.width_class == 0
+        assert wide.width_class == 3
+
+    def test_no_prediction_is_conservative(self, lut):
+        key = lut.classify(alu(Opcode.ADD))
+        assert key.width_class == 3
+
+    def test_flexible_shift_sets_shift_bit(self, lut):
+        key = lut.classify(alu(Opcode.ADD, shift=ShiftOp.LSR, shift_amt=3))
+        assert key.shift
+
+    def test_standalone_shift(self, lut):
+        key = lut.classify(alu(Opcode.LSR))
+        assert key.shift and not key.arith
+
+    def test_simd_uses_dtype(self, lut):
+        instr = Instruction(op=Opcode.VADD, rd=v(0), rn=v(1), rm=v(2),
+                            dtype=SimdType.I8)
+        key = lut.classify(instr)
+        assert key.simd and key.width_class == 0
+
+    def test_multicycle_rejected(self, lut):
+        with pytest.raises(ValueError):
+            lut.classify(Instruction(op=Opcode.MUL, rd=r(0), rn=r(1),
+                                     rm=r(2)))
+
+    def test_narrow_add_has_more_slack(self, lut):
+        assert lut.ex_time(alu(Opcode.ADD), 8) < lut.ex_time(alu(Opcode.ADD))
+
+    def test_simd_i8_faster_than_i64(self, lut):
+        i8 = Instruction(op=Opcode.VADD, rd=v(0), rn=v(1), rm=v(2),
+                         dtype=SimdType.I8)
+        i64 = Instruction(op=Opcode.VADD, rd=v(0), rn=v(1), rm=v(2),
+                          dtype=SimdType.I64)
+        assert lut.ex_time(i8) < lut.ex_time(i64)
+
+
+class TestWidthClassIndex:
+    @pytest.mark.parametrize("width,idx", [(1, 0), (8, 0), (9, 1), (16, 1),
+                                           (17, 2), (24, 2), (25, 3),
+                                           (32, 3), (99, 3)])
+    def test_boundaries(self, width, idx):
+        assert width_class_index(width) == idx
+
+    def test_classes_cover_word(self):
+        assert WIDTH_CLASSES[-1] == 32
+
+
+class TestPVTRecalibration:
+    def test_slower_corner_raises_ex_times(self):
+        nominal = SlackLUT()
+        slow = SlackLUT(pvt_scale=1.15)
+        assert all(
+            slow.buckets()[a] >= nominal.buckets()[a]
+            for a in nominal.buckets())
+
+    def test_faster_corner_lowers_ex_times(self):
+        nominal = SlackLUT()
+        fast = SlackLUT(pvt_scale=0.8)
+        assert sum(fast.buckets().values()) < sum(nominal.buckets().values())
+
+    def test_recalibrate_in_place(self):
+        lut = SlackLUT()
+        before = dict(lut.buckets())
+        lut.recalibrate_pvt(0.8)
+        after = lut.buckets()
+        assert after != before
+        lut.recalibrate_pvt(1.0)
+        assert lut.buckets() == before
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            SlackLUT(pvt_scale=0.0)
+
+
+class TestPrecisionSweep:
+    def test_coarser_precision_more_conservative(self):
+        """Fewer bits → coarser ceil → EX-TIMEs never shrink (in time)."""
+        fine = SlackLUT(TickBase(ticks_per_cycle=8))
+        coarse = SlackLUT(TickBase(ticks_per_cycle=2))
+        for addr, ticks in fine.buckets().items():
+            fine_frac = ticks / 8
+            coarse_frac = coarse.buckets()[addr] / 2
+            assert coarse_frac >= fine_frac - 1e-9

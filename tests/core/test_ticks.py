@@ -1,0 +1,71 @@
+"""Unit and property tests for the tick time base."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ticks import DEFAULT_TICK_BASE, TickBase
+
+
+class TestTickBase:
+    def test_default_is_3_bits(self):
+        assert DEFAULT_TICK_BASE.ticks_per_cycle == 8
+        assert DEFAULT_TICK_BASE.precision_bits == 3
+
+    def test_ps_per_tick(self):
+        assert DEFAULT_TICK_BASE.ps_per_tick == 62.5
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            TickBase(ticks_per_cycle=6)
+
+    def test_quantisation_is_ceil(self):
+        base = DEFAULT_TICK_BASE
+        assert base.ps_to_ticks(62.5) == 1
+        assert base.ps_to_ticks(62.6) == 2
+        assert base.ps_to_ticks(1.0) == 1
+
+    def test_zero_delay_still_costs_a_tick(self):
+        assert DEFAULT_TICK_BASE.ps_to_ticks(0.0) == 1
+
+    def test_cycle_math(self):
+        base = DEFAULT_TICK_BASE
+        assert base.cycle_of(17) == 2
+        assert base.tick_in_cycle(17) == 1
+        assert base.cycle_start(3) == 24
+        assert base.next_edge(17) == 24
+        assert base.next_edge(16) == 16
+
+    def test_ex_time_clamped_to_cycle(self):
+        base = DEFAULT_TICK_BASE
+        assert base.ex_time_ticks(10_000.0) == 8
+
+    @pytest.mark.parametrize("bits,ticks", [(1, 2), (2, 4), (3, 8),
+                                            (4, 16), (5, 32)])
+    def test_precision_sweep_instantiation(self, bits, ticks):
+        base = TickBase(ticks_per_cycle=ticks)
+        assert base.precision_bits == bits
+
+
+@given(st.floats(min_value=0.1, max_value=499.0))
+def test_quantisation_never_underestimates(ps):
+    """Conservative quantisation: tick time >= real time (non-speculative)."""
+    base = DEFAULT_TICK_BASE
+    ticks = base.ps_to_ticks(ps)
+    assert ticks * base.ps_per_tick >= ps - 1e-6
+
+
+@given(st.floats(min_value=0.1, max_value=499.0))
+def test_quantisation_wastes_less_than_one_tick(ps):
+    base = DEFAULT_TICK_BASE
+    ticks = base.ps_to_ticks(ps)
+    assert (ticks - 1) * base.ps_per_tick < ps + 1e-6
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+def test_next_edge_properties(t):
+    base = DEFAULT_TICK_BASE
+    edge = base.next_edge(t)
+    assert edge >= t
+    assert edge % base.ticks_per_cycle == 0
+    assert edge - t < base.ticks_per_cycle

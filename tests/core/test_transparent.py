@@ -1,0 +1,140 @@
+"""Unit tests for transparent-execution timing (Fig. 4 semantics)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ticks import DEFAULT_TICK_BASE as BASE
+from repro.core.transparent import (
+    SequenceTracker,
+    resolve_execution,
+)
+
+
+class TestResolveExecution:
+    def test_synchronous_op_starts_at_edge(self):
+        t = resolve_execution(arrival_cycle=2, source_avail=13, ex_ticks=4,
+                              transparent=False, base=BASE)
+        assert t.start_tick == 16
+        assert not t.recycled
+
+    def test_transparent_op_starts_at_producer_ci(self):
+        # producer completes at tick 19 (mid cycle 2); consumer arrives
+        # in cycle 2 and starts exactly there
+        t = resolve_execution(arrival_cycle=2, source_avail=19, ex_ticks=3,
+                              transparent=True, base=BASE)
+        assert t.start_tick == 19
+        assert t.end_tick == 22
+        assert t.recycled
+
+    def test_early_source_means_edge_start(self):
+        t = resolve_execution(arrival_cycle=2, source_avail=5, ex_ticks=3,
+                              transparent=True, base=BASE)
+        assert t.start_tick == 16
+        assert not t.recycled
+
+    def test_extra_cycle_hold_on_boundary_cross(self):
+        # start 19, ex 7 -> end 26 crosses edge 24
+        t = resolve_execution(arrival_cycle=2, source_avail=19, ex_ticks=7,
+                              transparent=True, base=BASE)
+        assert t.extra_cycle_hold
+
+    def test_no_hold_when_exactly_at_edge(self):
+        # start 16, ex 8 -> end 24 == edge: not crossing
+        t = resolve_execution(arrival_cycle=2, source_avail=10, ex_ticks=8,
+                              transparent=True, base=BASE)
+        assert not t.extra_cycle_hold
+
+    def test_sync_avail_rounds_up(self):
+        t = resolve_execution(arrival_cycle=2, source_avail=19, ex_ticks=3,
+                              transparent=True, base=BASE)
+        assert t.avail_tick == 22
+        assert t.sync_avail_tick == 24
+
+    def test_fig4_walkthrough(self):
+        """The paper's Fig. 4.c example: 0.8 ns, 0.6 ns, 0.5 ns ops on a
+        0.5 ns clock -> in ticks (1 tick = 62.5 ps): 13, 10, 8 ticks on a
+        16-tick... scaled to our 8-tick cycle: ex = 7, 5, 4."""
+        x1 = resolve_execution(arrival_cycle=1, source_avail=0, ex_ticks=7,
+                               transparent=True, base=BASE)
+        assert (x1.start_tick, x1.end_tick) == (8, 15)
+        assert not x1.extra_cycle_hold          # ends within cycle 1
+        x2 = resolve_execution(arrival_cycle=1, source_avail=x1.avail_tick,
+                               ex_ticks=5, transparent=True, base=BASE)
+        assert x2.start_tick == 15              # starts at x1's completion
+        assert x2.end_tick == 20
+        assert x2.extra_cycle_hold              # crosses the edge at 16
+        x3 = resolve_execution(arrival_cycle=2, source_avail=x2.avail_tick,
+                               ex_ticks=4, transparent=True, base=BASE)
+        assert x3.start_tick == 20
+        assert x3.end_tick == 24
+        # a true-synchronous successor clocks at the edge: tick 24 =
+        # cycle 3, one cycle earlier than the pure synchronous baseline
+        # (which needs cycles 1,2,3 -> result at edge 32)
+        assert x3.sync_avail_tick == 24
+
+
+@given(st.integers(min_value=0, max_value=100),
+       st.integers(min_value=0, max_value=120),
+       st.integers(min_value=1, max_value=8),
+       st.booleans())
+def test_resolution_invariants(arrival, avail, ex, transparent):
+    t = resolve_execution(arrival_cycle=arrival, source_avail=avail,
+                          ex_ticks=ex, transparent=transparent, base=BASE)
+    # never starts before the FU-arrival edge nor before the operand
+    assert t.start_tick >= BASE.cycle_start(arrival)
+    assert t.start_tick >= (avail if transparent else min(avail, t.start_tick))
+    assert t.end_tick == t.start_tick + ex
+    assert t.sync_avail_tick >= t.avail_tick
+    assert t.sync_avail_tick % BASE.ticks_per_cycle == 0
+    # synchronous ops never start mid-cycle
+    if not transparent:
+        assert t.start_tick % BASE.ticks_per_cycle == 0
+        assert not t.recycled
+
+
+@given(st.integers(min_value=0, max_value=100),
+       st.integers(min_value=0, max_value=120),
+       st.integers(min_value=1, max_value=8))
+def test_transparent_never_slower_than_sync(arrival, avail, ex):
+    trans = resolve_execution(arrival_cycle=arrival, source_avail=avail,
+                              ex_ticks=ex, transparent=True, base=BASE)
+    sync = resolve_execution(arrival_cycle=arrival, source_avail=avail,
+                             ex_ticks=ex, transparent=False, base=BASE)
+    assert trans.end_tick <= sync.end_tick
+
+
+class TestSequenceTracker:
+    def test_single_op_chain(self):
+        tracker = SequenceTracker()
+        tracker.start_chain()
+        assert tracker.lengths() == [1]
+        assert tracker.expected_length() == 1.0
+
+    def test_extension(self):
+        tracker = SequenceTracker()
+        c = tracker.start_chain()
+        assert tracker.extend_chain(c) == c
+        assert tracker.lengths() == [2]
+
+    def test_extend_unknown_starts_new(self):
+        tracker = SequenceTracker()
+        tracker.extend_chain(None)
+        assert tracker.lengths() == [1]
+
+    def test_expected_length_is_length_weighted(self):
+        tracker = SequenceTracker()
+        a = tracker.start_chain()
+        for _ in range(3):
+            tracker.extend_chain(a)          # chain of 4
+        tracker.start_chain()                # chain of 1
+        tracker.start_chain()                # chain of 1
+        # plain mean = 2.0; weighted EV = (16+1+1)/6 = 3.0
+        assert tracker.mean_length() == 2.0
+        assert tracker.expected_length() == 3.0
+
+    def test_multi_op_sequences(self):
+        tracker = SequenceTracker()
+        a = tracker.start_chain()
+        tracker.extend_chain(a)
+        tracker.start_chain()
+        assert tracker.multi_op_sequences() == 1

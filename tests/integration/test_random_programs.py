@@ -1,0 +1,107 @@
+"""Property-based tests: random programs through the whole stack.
+
+Hypothesis generates random (but valid) programs; for each one we check
+the core behavioural contracts of the reproduction:
+
+* the timing simulators commit exactly the dynamic instruction count;
+* ReDSOC and MOS never slow execution beyond measurement noise;
+* everything is deterministic.
+
+These are the "failure injection" tests for the scheduler: random
+dependence patterns exercise corner cases (flag chains, same-register
+operands, mixed latencies) no hand-written kernel covers.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MEDIUM, RecycleMode, simulate
+from repro.isa import Asm, Cond, Opcode, ShiftOp, SimdType, r, v
+from repro.pipeline.trace import generate_trace
+
+REGS = [r(i) for i in range(1, 8)]
+VREGS = [v(i) for i in range(0, 4)]
+
+
+@st.composite
+def random_program(draw):
+    """A random loop over a random mixed-op body."""
+    a = Asm("random")
+    a.data_words(0x1000, range(64))
+    for reg in REGS:
+        a.mov(reg, draw(st.integers(min_value=0, max_value=0xFFFF)))
+    a.mov(r(9), 0x1000)
+    a.mov(r(8), draw(st.integers(min_value=2, max_value=12)))  # iters
+    a.vdup(VREGS[0], r(1), SimdType.I16)
+    a.vdup(VREGS[1], r(2), SimdType.I16)
+    a.label("loop")
+    ops = draw(st.lists(st.integers(min_value=0, max_value=9),
+                        min_size=3, max_size=20))
+    for k, choice in enumerate(ops):
+        dst = REGS[draw(st.integers(min_value=0, max_value=6))]
+        src1 = REGS[draw(st.integers(min_value=0, max_value=6))]
+        src2 = REGS[draw(st.integers(min_value=0, max_value=6))]
+        if choice == 0:
+            a.add(dst, src1, src2)
+        elif choice == 1:
+            a.eor(dst, src1, src2)
+        elif choice == 2:
+            a.lsr(dst, src1, draw(st.integers(min_value=1, max_value=8)))
+        elif choice == 3:
+            a.add(dst, src1, src2, shift=ShiftOp.ROR,
+                  shift_amt=draw(st.integers(min_value=1, max_value=7)))
+        elif choice == 4:
+            a.mul(dst, src1, src2)
+        elif choice == 5:
+            a.ldr(dst, r(9), draw(st.integers(min_value=0,
+                                              max_value=31)) * 4)
+        elif choice == 6:
+            a.str_(src1, r(9), draw(st.integers(min_value=0,
+                                                max_value=31)) * 4)
+        elif choice == 7:
+            a.adc(dst, src1, src2)
+        elif choice == 8:
+            a.vadd(VREGS[0], VREGS[0], VREGS[1], SimdType.I16)
+        else:
+            a.vmla(VREGS[1], VREGS[0], VREGS[1], SimdType.I16)
+    a.subs(r(8), r(8), 1)
+    a.b("loop", cond=Cond.NE)
+    a.halt()
+    return a.finish()
+
+
+@given(random_program())
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+def test_all_modes_commit_everything(program):
+    trace = generate_trace(program)
+    for mode in RecycleMode:
+        result = simulate(trace, MEDIUM.with_mode(mode))
+        assert result.stats.committed == len(trace), mode
+
+
+@given(random_program())
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+def test_recycling_never_hurts_much(program):
+    trace = generate_trace(program)
+    base = simulate(trace, MEDIUM.with_mode(RecycleMode.BASELINE))
+    red = simulate(trace, MEDIUM.with_mode(RecycleMode.REDSOC))
+    mos = simulate(trace, MEDIUM.with_mode(RecycleMode.MOS))
+    assert red.cycles <= base.cycles * 1.05 + 10
+    assert mos.cycles <= base.cycles * 1.05 + 10
+
+
+@given(random_program())
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+def test_determinism(program):
+    trace = generate_trace(program)
+    a = simulate(trace, MEDIUM)
+    b = simulate(trace, MEDIUM)
+    assert a.cycles == b.cycles
+    assert a.stats.recycled_ops == b.stats.recycled_ops
+    assert a.stats.la_replays == b.stats.la_replays

@@ -1,0 +1,64 @@
+"""Unit tests for the reference interpreter (the golden model)."""
+
+import pytest
+
+from repro.isa import Asm, Cond, Interpreter, r, run_program
+from repro.pipeline.trace import generate_trace
+
+
+def counting_program(n=5):
+    a = Asm("count")
+    a.mov(r(1), n)
+    a.mov(r(2), 0)
+    a.label("loop")
+    a.add(r(2), r(2), 1)
+    a.subs(r(1), r(1), 1)
+    a.b("loop", cond=Cond.NE)
+    a.halt()
+    return a.finish()
+
+
+class TestInterpreter:
+    def test_runs_to_halt(self):
+        result = run_program(counting_program(5))
+        assert result.halted
+        assert result.regs.read(r(2)) == 5
+
+    def test_instruction_count(self):
+        result = run_program(counting_program(3))
+        assert result.instructions == 2 + 3 * 3 + 1
+
+    def test_init_regs(self):
+        a = Asm("echo")
+        a.add(r(2), r(1), 0)
+        a.halt()
+        result = Interpreter(a.finish(), init_regs={r(1): 77}).run()
+        assert result.regs.read(r(2)) == 77
+
+    def test_instruction_cap_reported_not_raised(self):
+        interp = Interpreter(counting_program(10**6),
+                             max_instructions=100)
+        result = interp.run()
+        assert not result.halted
+        assert result.instructions == 100
+
+    def test_width_tracing(self):
+        interp = Interpreter(counting_program(2))
+        result = interp.run(trace_widths=True)
+        assert len(result.trace) == result.instructions
+        assert all(1 <= w <= 32 for _, w in result.trace)
+
+    def test_arch_state_snapshot(self):
+        result = run_program(counting_program(2))
+        state = result.arch_state()
+        assert "regs" in state and "mem" in state
+
+    def test_matches_trace_generator_exactly(self):
+        """The two functional paths (interpreter, trace generator) agree
+        on every architectural outcome."""
+        program = counting_program(9)
+        interp = run_program(program)
+        trace = generate_trace(program)
+        assert trace.final_regs == interp.regs.snapshot()
+        assert trace.final_mem == interp.mem.snapshot()
+        assert len(trace) == interp.instructions

@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) for ISA semantics invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    FLAGS,
+    Flags,
+    Instruction,
+    Memory,
+    Opcode,
+    RegisterFile,
+    ShiftOp,
+    SimdType,
+    execute,
+    r,
+    v,
+)
+from repro.isa.semantics import (
+    _lanes,
+    _pack_lanes,
+    effective_width,
+    to_signed,
+    width_bucket,
+)
+
+word = st.integers(min_value=0, max_value=0xFFFFFFFF)
+vec = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+def run_binop(op, a, b, **kwargs):
+    regs = RegisterFile()
+    regs.write(r(1), a)
+    regs.write(r(2), b)
+    instr = Instruction(op=op, rd=r(0), rn=r(1), rm=r(2), **kwargs)
+    return execute(instr, regs, Memory(), 0)
+
+
+@given(word, word)
+def test_add_matches_python_mod_2_32(a, b):
+    res = run_binop(Opcode.ADD, a, b)
+    assert res.writes[r(0)] == (a + b) & 0xFFFFFFFF
+
+
+@given(word, word)
+def test_sub_matches_python_mod_2_32(a, b):
+    res = run_binop(Opcode.SUB, a, b)
+    assert res.writes[r(0)] == (a - b) & 0xFFFFFFFF
+
+
+@given(word, word)
+def test_logical_ops_match_python(a, b):
+    assert run_binop(Opcode.AND, a, b).writes[r(0)] == a & b
+    assert run_binop(Opcode.ORR, a, b).writes[r(0)] == a | b
+    assert run_binop(Opcode.EOR, a, b).writes[r(0)] == a ^ b
+
+
+@given(word, word)
+def test_results_always_fit_in_word(a, b):
+    for op in (Opcode.ADD, Opcode.SUB, Opcode.RSB, Opcode.AND, Opcode.ORR,
+               Opcode.EOR, Opcode.BIC, Opcode.MUL):
+        res = run_binop(op, a, b)
+        assert 0 <= res.writes[r(0)] <= 0xFFFFFFFF
+
+
+@given(word, st.integers(min_value=0, max_value=31))
+def test_shift_pairs_are_inverses_for_low_bits(value, amount):
+    """(x << k) >> k recovers the low 32-k bits of x."""
+    regs = RegisterFile()
+    regs.write(r(1), value)
+    left = execute(Instruction(op=Opcode.LSL, rd=r(2), rn=r(1), imm=amount),
+                   regs, Memory(), 0)
+    regs.write(r(2), left.writes[r(2)])
+    right = execute(Instruction(op=Opcode.LSR, rd=r(3), rn=r(2), imm=amount),
+                    regs, Memory(), 0)
+    mask = (1 << (32 - amount)) - 1
+    assert right.writes[r(3)] == value & mask
+
+
+@given(word, st.integers(min_value=0, max_value=31))
+def test_ror_preserves_popcount(value, amount):
+    regs = RegisterFile()
+    regs.write(r(1), value)
+    res = execute(Instruction(op=Opcode.ROR, rd=r(0), rn=r(1), imm=amount),
+                  regs, Memory(), 0)
+    assert bin(res.writes[r(0)]).count("1") == bin(value).count("1")
+
+
+@given(word, word)
+def test_cmp_flags_equal_subs_flags(a, b):
+    subs = run_binop(Opcode.SUB, a, b, set_flags=True)
+    regs = RegisterFile()
+    regs.write(r(1), a)
+    regs.write(r(2), b)
+    cmp_res = execute(Instruction(op=Opcode.CMP, rn=r(1), rm=r(2),
+                                  set_flags=True), regs, Memory(), 0)
+    assert cmp_res.writes[FLAGS] == subs.writes[FLAGS]
+
+
+@given(word)
+def test_effective_width_bounds(value):
+    w = effective_width(value)
+    assert 1 <= w <= 32
+    assert width_bucket(w) in (8, 16, 24, 32)
+
+
+@given(word)
+def test_effective_width_represents_value(value):
+    """The claimed width really is enough bits to hold the value."""
+    w = effective_width(value)
+    signed = to_signed(value)
+    assert -(1 << (w - 1)) <= signed < (1 << (w - 1))
+
+
+@given(word)
+def test_negation_symmetric_width(value):
+    """x and ~x need the same two's-complement width."""
+    assert effective_width(value) == effective_width(~value & 0xFFFFFFFF)
+
+
+@given(vec, vec, st.sampled_from(list(SimdType)))
+def test_vadd_vsub_roundtrip(a, b, dtype):
+    regs = RegisterFile()
+    regs.write(v(1), a)
+    regs.write(v(2), b)
+    added = execute(Instruction(op=Opcode.VADD, rd=v(3), rn=v(1), rm=v(2),
+                                dtype=dtype), regs, Memory(), 0)
+    regs.write(v(3), added.writes[v(3)])
+    back = execute(Instruction(op=Opcode.VSUB, rd=v(4), rn=v(3), rm=v(2),
+                               dtype=dtype), regs, Memory(), 0)
+    assert back.writes[v(4)] == a
+
+
+@given(vec, st.sampled_from(list(SimdType)))
+def test_lane_pack_roundtrip(value, dtype):
+    assert _pack_lanes(_lanes(value, dtype), dtype) == value
+
+
+@given(st.integers(min_value=0, max_value=0xFFFF), word,
+       st.integers(min_value=0, max_value=0xFFFF))
+@settings(max_examples=50)
+def test_memory_read_after_write(addr, value, offset):
+    mem = Memory()
+    mem.write(addr, value, 4)
+    assert mem.read(addr, 4) == value
+    # disjoint writes do not interfere
+    other = addr + 4 + offset
+    mem.write(other, 0xA5A5A5A5, 4)
+    assert mem.read(addr, 4) == value

@@ -1,0 +1,338 @@
+"""Unit tests for the functional semantics of scalar opcodes."""
+
+import pytest
+
+from repro.isa import (
+    Asm,
+    Cond,
+    FLAGS,
+    Flags,
+    Instruction,
+    Memory,
+    Opcode,
+    RegisterFile,
+    ShiftOp,
+    execute,
+    r,
+    run_program,
+)
+from repro.isa.semantics import to_signed, effective_width, width_bucket
+
+
+def make_regs(**kwargs):
+    regs = RegisterFile()
+    for name, value in kwargs.items():
+        regs.write(r(int(name[1:])), value)
+    return regs
+
+
+def run_one(instr, regs=None, mem=None, pc=0):
+    return execute(instr, regs or RegisterFile(), mem or Memory(), pc)
+
+
+class TestLogical:
+    def test_and(self):
+        regs = make_regs(r1=0xF0F0, r2=0x0FF0)
+        res = run_one(Instruction(op=Opcode.AND, rd=r(0), rn=r(1), rm=r(2)),
+                      regs)
+        assert res.writes[r(0)] == 0x00F0
+
+    def test_orr(self):
+        regs = make_regs(r1=0xF000, r2=0x000F)
+        res = run_one(Instruction(op=Opcode.ORR, rd=r(0), rn=r(1), rm=r(2)),
+                      regs)
+        assert res.writes[r(0)] == 0xF00F
+
+    def test_eor(self):
+        regs = make_regs(r1=0xFF00, r2=0x0FF0)
+        res = run_one(Instruction(op=Opcode.EOR, rd=r(0), rn=r(1), rm=r(2)),
+                      regs)
+        assert res.writes[r(0)] == 0xF0F0
+
+    def test_bic(self):
+        regs = make_regs(r1=0xFFFF, r2=0x00FF)
+        res = run_one(Instruction(op=Opcode.BIC, rd=r(0), rn=r(1), rm=r(2)),
+                      regs)
+        assert res.writes[r(0)] == 0xFF00
+
+    def test_mvn(self):
+        regs = make_regs(r2=0)
+        res = run_one(Instruction(op=Opcode.MVN, rd=r(0), rm=r(2)), regs)
+        assert res.writes[r(0)] == 0xFFFFFFFF
+
+    def test_mov_immediate(self):
+        res = run_one(Instruction(op=Opcode.MOV, rd=r(0), imm=42))
+        assert res.writes[r(0)] == 42
+
+    def test_tst_sets_z(self):
+        regs = make_regs(r1=0xF0, r2=0x0F)
+        res = run_one(Instruction(op=Opcode.TST, rn=r(1), rm=r(2)), regs)
+        assert Flags.unpack(res.writes[FLAGS]).z
+        assert r(1) not in res.writes  # no destination write
+
+    def test_teq_detects_equality(self):
+        regs = make_regs(r1=0xAB, r2=0xAB)
+        res = run_one(Instruction(op=Opcode.TEQ, rn=r(1), rm=r(2)), regs)
+        assert Flags.unpack(res.writes[FLAGS]).z
+
+
+class TestShifts:
+    def test_lsl(self):
+        regs = make_regs(r1=1)
+        res = run_one(Instruction(op=Opcode.LSL, rd=r(0), rn=r(1), imm=4),
+                      regs)
+        assert res.writes[r(0)] == 16
+
+    def test_lsr(self):
+        regs = make_regs(r1=0x80000000)
+        res = run_one(Instruction(op=Opcode.LSR, rd=r(0), rn=r(1), imm=31),
+                      regs)
+        assert res.writes[r(0)] == 1
+
+    def test_asr_sign_extends(self):
+        regs = make_regs(r1=0x80000000)
+        res = run_one(Instruction(op=Opcode.ASR, rd=r(0), rn=r(1), imm=4),
+                      regs)
+        assert res.writes[r(0)] == 0xF8000000
+
+    def test_ror(self):
+        regs = make_regs(r1=0x1)
+        res = run_one(Instruction(op=Opcode.ROR, rd=r(0), rn=r(1), imm=1),
+                      regs)
+        assert res.writes[r(0)] == 0x80000000
+
+    def test_rrx_rotates_through_carry(self):
+        regs = make_regs(r1=0x2)
+        regs.set_flags(Flags(c=True))
+        res = run_one(Instruction(op=Opcode.RRX, rd=r(0), rn=r(1)), regs)
+        assert res.writes[r(0)] == 0x80000001
+
+    def test_shift_amount_from_register(self):
+        regs = make_regs(r1=0xFF, r2=4)
+        res = run_one(Instruction(op=Opcode.LSR, rd=r(0), rn=r(1), rm=r(2)),
+                      regs)
+        assert res.writes[r(0)] == 0x0F
+
+
+class TestArithmetic:
+    def test_add(self):
+        regs = make_regs(r1=40, r2=2)
+        res = run_one(Instruction(op=Opcode.ADD, rd=r(0), rn=r(1), rm=r(2)),
+                      regs)
+        assert res.writes[r(0)] == 42
+
+    def test_add_wraps_32bit(self):
+        regs = make_regs(r1=0xFFFFFFFF, r2=1)
+        res = run_one(
+            Instruction(op=Opcode.ADD, rd=r(0), rn=r(1), rm=r(2),
+                        set_flags=True), regs)
+        assert res.writes[r(0)] == 0
+        flags = Flags.unpack(res.writes[FLAGS])
+        assert flags.c and flags.z
+
+    def test_sub_sets_borrow_semantics(self):
+        regs = make_regs(r1=5, r2=10)
+        res = run_one(
+            Instruction(op=Opcode.SUB, rd=r(0), rn=r(1), rm=r(2),
+                        set_flags=True), regs)
+        assert to_signed(res.writes[r(0)]) == -5
+        flags = Flags.unpack(res.writes[FLAGS])
+        assert flags.n and not flags.c  # ARM: C clear means borrow
+
+    def test_rsb(self):
+        regs = make_regs(r1=10, r2=3)
+        res = run_one(Instruction(op=Opcode.RSB, rd=r(0), rn=r(1), rm=r(2)),
+                      regs)
+        assert to_signed(res.writes[r(0)]) == -7
+
+    def test_adc_uses_carry(self):
+        regs = make_regs(r1=1, r2=1)
+        regs.set_flags(Flags(c=True))
+        res = run_one(Instruction(op=Opcode.ADC, rd=r(0), rn=r(1), rm=r(2)),
+                      regs)
+        assert res.writes[r(0)] == 3
+
+    def test_sbc(self):
+        regs = make_regs(r1=10, r2=3)
+        regs.set_flags(Flags(c=True))  # no borrow pending
+        res = run_one(Instruction(op=Opcode.SBC, rd=r(0), rn=r(1), rm=r(2)),
+                      regs)
+        assert res.writes[r(0)] == 7
+
+    def test_cmp_writes_only_flags(self):
+        regs = make_regs(r1=7, r2=7)
+        res = run_one(Instruction(op=Opcode.CMP, rn=r(1), rm=r(2),
+                                  set_flags=True), regs)
+        assert list(res.writes) == [FLAGS]
+        assert Flags.unpack(res.writes[FLAGS]).z
+
+    def test_overflow_flag(self):
+        regs = make_regs(r1=0x7FFFFFFF, r2=1)
+        res = run_one(Instruction(op=Opcode.ADD, rd=r(0), rn=r(1), rm=r(2),
+                                  set_flags=True), regs)
+        assert Flags.unpack(res.writes[FLAGS]).v
+
+    def test_flexible_shift_operand(self):
+        # add r0, r1, r2, lsr #3  ->  r0 = r1 + (r2 >> 3)
+        regs = make_regs(r1=100, r2=80)
+        res = run_one(Instruction(op=Opcode.ADD, rd=r(0), rn=r(1), rm=r(2),
+                                  shift=ShiftOp.LSR, shift_amt=3), regs)
+        assert res.writes[r(0)] == 110
+
+
+class TestMulDiv:
+    def test_mul(self):
+        regs = make_regs(r1=6, r2=7)
+        res = run_one(Instruction(op=Opcode.MUL, rd=r(0), rn=r(1), rm=r(2)),
+                      regs)
+        assert res.writes[r(0)] == 42
+
+    def test_mla(self):
+        regs = make_regs(r1=6, r2=7, r3=8)
+        res = run_one(Instruction(op=Opcode.MLA, rd=r(0), rn=r(1), rm=r(2),
+                                  ra=r(3)), regs)
+        assert res.writes[r(0)] == 50
+
+    def test_udiv(self):
+        regs = make_regs(r1=100, r2=7)
+        res = run_one(Instruction(op=Opcode.UDIV, rd=r(0), rn=r(1), rm=r(2)),
+                      regs)
+        assert res.writes[r(0)] == 14
+
+    def test_sdiv_truncates_toward_zero(self):
+        regs = make_regs(r1=(-7) & 0xFFFFFFFF, r2=2)
+        res = run_one(Instruction(op=Opcode.SDIV, rd=r(0), rn=r(1), rm=r(2)),
+                      regs)
+        assert to_signed(res.writes[r(0)]) == -3
+
+    def test_divide_by_zero_returns_zero(self):
+        regs = make_regs(r1=100, r2=0)
+        res = run_one(Instruction(op=Opcode.UDIV, rd=r(0), rn=r(1), rm=r(2)),
+                      regs)
+        assert res.writes[r(0)] == 0
+
+
+class TestMemory:
+    def test_ldr_str_roundtrip(self):
+        mem = Memory()
+        regs = make_regs(r1=0x1000, r2=0xDEADBEEF)
+        store = run_one(Instruction(op=Opcode.STR, rs=r(2), rn=r(1), imm=4),
+                        regs, mem)
+        assert store.is_store and store.mem_addr == 0x1004
+        mem.write(store.mem_addr, store.store_value, store.mem_size)
+        load = run_one(Instruction(op=Opcode.LDR, rd=r(3), rn=r(1), imm=4),
+                       regs, mem)
+        assert load.writes[r(3)] == 0xDEADBEEF
+
+    def test_byte_access(self):
+        mem = Memory()
+        mem.write(0x2000, 0xAB, 1)
+        regs = make_regs(r1=0x2000)
+        res = run_one(Instruction(op=Opcode.LDRB, rd=r(0), rn=r(1)), regs,
+                      mem)
+        assert res.writes[r(0)] == 0xAB
+
+    def test_indexed_addressing_with_scale(self):
+        mem = Memory()
+        mem.write(0x3000 + 5 * 4, 77, 4)
+        regs = make_regs(r1=0x3000, r2=5)
+        res = run_one(Instruction(op=Opcode.LDR, rd=r(0), rn=r(1), rm=r(2),
+                                  scale=4, imm=0), regs, mem)
+        assert res.writes[r(0)] == 77
+
+    def test_little_endian(self):
+        mem = Memory()
+        mem.write(0, 0x11223344, 4)
+        assert mem.read_byte(0) == 0x44
+        assert mem.read_byte(3) == 0x11
+
+
+class TestBranches:
+    def test_unconditional_taken(self):
+        res = run_one(Instruction(op=Opcode.B, target=10), pc=0)
+        assert res.taken and res.next_pc == 10
+
+    def test_conditional_not_taken(self):
+        regs = RegisterFile()
+        regs.set_flags(Flags(z=False))
+        res = run_one(Instruction(op=Opcode.B, cond=Cond.EQ, target=10),
+                      regs, pc=3)
+        assert not res.taken and res.next_pc == 4
+
+    @pytest.mark.parametrize("cond,flags,expect", [
+        (Cond.EQ, Flags(z=True), True),
+        (Cond.NE, Flags(z=True), False),
+        (Cond.LT, Flags(n=True, v=False), True),
+        (Cond.GE, Flags(n=True, v=True), True),
+        (Cond.GT, Flags(z=False, n=False, v=False), True),
+        (Cond.LE, Flags(z=True), True),
+        (Cond.CS, Flags(c=True), True),
+        (Cond.MI, Flags(n=True), True),
+        (Cond.PL, Flags(n=True), False),
+    ])
+    def test_condition_table(self, cond, flags, expect):
+        regs = RegisterFile()
+        regs.set_flags(flags)
+        res = run_one(Instruction(op=Opcode.B, cond=cond, target=1), regs)
+        assert res.taken is expect
+
+    def test_bl_writes_link(self):
+        res = run_one(Instruction(op=Opcode.BL, rd=r(14), target=20), pc=5)
+        assert res.writes[r(14)] == 6 and res.next_pc == 20
+
+
+class TestEffectiveWidth:
+    def test_zero_is_narrow(self):
+        assert effective_width(0) == 1
+
+    def test_minus_one_is_narrow(self):
+        assert effective_width(0xFFFFFFFF) == 1
+
+    def test_byte_value(self):
+        assert effective_width(200) == 9  # needs sign bit
+
+    def test_full_width(self):
+        assert effective_width(0x7FFFFFFF) == 32
+
+    def test_buckets(self):
+        assert width_bucket(1) == 8
+        assert width_bucket(9) == 16
+        assert width_bucket(17) == 24
+        assert width_bucket(25) == 32
+
+
+class TestPrograms:
+    def test_loop_program(self):
+        a = Asm("sum")
+        a.mov(r(1), 10)
+        a.mov(r(2), 0)
+        a.label("loop")
+        a.add(r(2), r(2), r(1))
+        a.subs(r(1), r(1), 1)
+        a.b("loop", cond=Cond.NE)
+        a.halt()
+        result = run_program(a.finish())
+        assert result.regs.read(r(2)) == 55
+        assert result.halted
+
+    def test_unresolved_label_raises(self):
+        a = Asm("bad")
+        a.b("nowhere")
+        a.halt()
+        with pytest.raises(KeyError):
+            a.finish()
+
+    def test_program_without_halt_rejected(self):
+        a = Asm("nohalt")
+        a.mov(r(0), 1)
+        with pytest.raises(ValueError):
+            a.finish()
+
+    def test_fp_fixed_point(self):
+        a = Asm("fp")
+        a.mov(r(1), int(1.5 * 65536))
+        a.mov(r(2), int(2.25 * 65536))
+        a.fmul(r(3), r(1), r(2))
+        a.halt()
+        result = run_program(a.finish())
+        assert result.regs.read(r(3)) == int(1.5 * 2.25 * 65536)

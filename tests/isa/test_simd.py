@@ -1,0 +1,136 @@
+"""Unit tests for the NEON-like SIMD extension."""
+
+from repro.isa import (
+    Asm,
+    Instruction,
+    Memory,
+    Opcode,
+    RegisterFile,
+    SimdType,
+    execute,
+    r,
+    run_program,
+    v,
+)
+from repro.isa.semantics import _lanes, _pack_lanes
+
+
+def vec_of_lanes(lanes, dtype):
+    return _pack_lanes(lanes, dtype)
+
+
+def run_one(instr, regs, mem=None):
+    return execute(instr, regs, mem or Memory(), 0)
+
+
+class TestLaneHelpers:
+    def test_pack_unpack_roundtrip(self):
+        lanes = list(range(16))
+        packed = _pack_lanes(lanes, SimdType.I8)
+        assert _lanes(packed, SimdType.I8) == lanes
+
+    def test_lane_count_per_type(self):
+        value = (1 << 128) - 1
+        assert len(_lanes(value, SimdType.I8)) == 16
+        assert len(_lanes(value, SimdType.I16)) == 8
+        assert len(_lanes(value, SimdType.I32)) == 4
+        assert len(_lanes(value, SimdType.I64)) == 2
+
+
+class TestLanewiseOps:
+    def _regs(self, a_lanes, b_lanes, dtype):
+        regs = RegisterFile()
+        regs.write(v(1), vec_of_lanes(a_lanes, dtype))
+        regs.write(v(2), vec_of_lanes(b_lanes, dtype))
+        return regs
+
+    def test_vadd_i8_wraps_per_lane(self):
+        regs = self._regs([250] * 16, [10] * 16, SimdType.I8)
+        res = run_one(Instruction(op=Opcode.VADD, rd=v(0), rn=v(1), rm=v(2),
+                                  dtype=SimdType.I8), regs)
+        assert _lanes(res.writes[v(0)], SimdType.I8) == [4] * 16
+
+    def test_vsub_i16(self):
+        regs = self._regs([100] * 8, [30] * 8, SimdType.I16)
+        res = run_one(Instruction(op=Opcode.VSUB, rd=v(0), rn=v(1), rm=v(2),
+                                  dtype=SimdType.I16), regs)
+        assert _lanes(res.writes[v(0)], SimdType.I16) == [70] * 8
+
+    def test_vmul_i32(self):
+        regs = self._regs([3, 4, 5, 6], [7, 7, 7, 7], SimdType.I32)
+        res = run_one(Instruction(op=Opcode.VMUL, rd=v(0), rn=v(1), rm=v(2),
+                                  dtype=SimdType.I32), regs)
+        assert _lanes(res.writes[v(0)], SimdType.I32) == [21, 28, 35, 42]
+
+    def test_vmla_accumulates(self):
+        dtype = SimdType.I32
+        regs = self._regs([2, 2, 2, 2], [3, 3, 3, 3], dtype)
+        regs.write(v(0), vec_of_lanes([10, 20, 30, 40], dtype))
+        res = run_one(Instruction(op=Opcode.VMLA, rd=v(0), rn=v(1), rm=v(2),
+                                  ra=v(0), dtype=dtype), regs)
+        assert _lanes(res.writes[v(0)], dtype) == [16, 26, 36, 46]
+
+    def test_vmax_is_signed(self):
+        dtype = SimdType.I8
+        regs = self._regs([0xFF] * 16, [1] * 16, dtype)  # -1 vs 1
+        res = run_one(Instruction(op=Opcode.VMAX, rd=v(0), rn=v(1), rm=v(2),
+                                  dtype=dtype), regs)
+        assert _lanes(res.writes[v(0)], dtype) == [1] * 16
+
+    def test_vmin_is_signed(self):
+        dtype = SimdType.I16
+        regs = self._regs([0x8000] * 8, [5] * 8, dtype)  # INT16_MIN vs 5
+        res = run_one(Instruction(op=Opcode.VMIN, rd=v(0), rn=v(1), rm=v(2),
+                                  dtype=dtype), regs)
+        assert _lanes(res.writes[v(0)], dtype) == [0x8000] * 8
+
+    def test_vshr_arithmetic(self):
+        dtype = SimdType.I8
+        regs = self._regs([0x80] * 16, [1] * 16, dtype)
+        res = run_one(Instruction(op=Opcode.VSHR, rd=v(0), rn=v(1), rm=v(2),
+                                  dtype=dtype), regs)
+        assert _lanes(res.writes[v(0)], dtype) == [0xC0] * 16
+
+    def test_bitwise_ops_type_independent(self):
+        regs = self._regs([0xF0] * 16, [0x3C] * 16, SimdType.I8)
+        res = run_one(Instruction(op=Opcode.VAND, rd=v(0), rn=v(1), rm=v(2),
+                                  dtype=SimdType.I8), regs)
+        assert _lanes(res.writes[v(0)], SimdType.I8) == [0x30] * 16
+
+
+class TestSimdMoveLoadStore:
+    def test_vdup_broadcasts(self):
+        regs = RegisterFile()
+        regs.write(r(1), 0xAB)
+        res = run_one(Instruction(op=Opcode.VDUP, rd=v(0), rn=r(1),
+                                  dtype=SimdType.I8), regs)
+        assert _lanes(res.writes[v(0)], SimdType.I8) == [0xAB] * 16
+
+    def test_vld1_vst1_roundtrip(self):
+        a = Asm("vmem")
+        a.data(0x100, bytes(range(16)))
+        a.mov(r(1), 0x100)
+        a.mov(r(2), 0x200)
+        a.vld1(v(0), r(1))
+        a.vst1(v(0), r(2))
+        a.halt()
+        result = run_program(a.finish())
+        assert result.mem.read_block(0x200, 16) == bytes(range(16))
+
+    def test_simd_kernel_end_to_end(self):
+        """Vector ReLU on 16 int8 values via VMAX with zero vector."""
+        data = [5, 0xF0, 7, 0x80, 1, 2, 0xFF, 9] * 2  # mixed +/- int8
+        a = Asm("relu")
+        a.data(0x100, bytes(data))
+        a.mov(r(1), 0x100)
+        a.mov(r(2), 0x200)
+        a.mov(r(3), 0)
+        a.vdup(v(1), r(3), SimdType.I8)
+        a.vld1(v(0), r(1))
+        a.vmax(v(2), v(0), v(1), SimdType.I8)
+        a.vst1(v(2), r(2))
+        a.halt()
+        result = run_program(a.finish())
+        out = result.mem.read_block(0x200, 16)
+        expected = bytes(x if x < 128 else 0 for x in data)
+        assert out == expected

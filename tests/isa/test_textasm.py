@@ -1,0 +1,189 @@
+"""Unit tests for the text assembler frontend."""
+
+import pytest
+
+from repro.isa import Cond, Opcode, ShiftOp, SimdType, r, run_program, v
+from repro.isa.textasm import AssemblyError, assemble_text
+
+
+def ops(program):
+    return [i.op for i in program.instructions]
+
+
+class TestBasicParsing:
+    def test_sum_program(self):
+        program = assemble_text("""
+            ; sum 1..10
+                mov   r1, #10
+                mov   r2, #0
+            loop:
+                add   r2, r2, r1
+                subs  r1, r1, #1
+                bne   loop
+                halt
+        """, name="sum")
+        result = run_program(program)
+        assert result.regs.read(r(2)) == 55
+
+    def test_label_on_own_line(self):
+        program = assemble_text("""
+            start:
+                mov r0, #1
+                halt
+        """)
+        assert program.labels["start"] == 0
+
+    def test_comments_ignored(self):
+        program = assemble_text("""
+            # full-line comment
+            mov r0, #1   ; trailing comment
+            halt
+        """)
+        assert len(program) == 2
+
+    def test_hex_immediates(self):
+        program = assemble_text("mov r0, #0xFF\nhalt")
+        assert program.instructions[0].imm == 255
+
+    def test_unknown_mnemonic_reports_line(self):
+        with pytest.raises(AssemblyError) as err:
+            assemble_text("mov r0, #1\nfrobnicate r1\nhalt")
+        assert err.value.lineno == 2
+
+
+class TestOperandForms:
+    def test_register_op2(self):
+        program = assemble_text("add r0, r1, r2\nhalt")
+        instr = program.instructions[0]
+        assert instr.rm == r(2) and instr.imm is None
+
+    def test_flexible_shift(self):
+        program = assemble_text("add r0, r1, r2, lsr #3\nhalt")
+        instr = program.instructions[0]
+        assert instr.shift is ShiftOp.LSR and instr.shift_amt == 3
+
+    def test_s_suffix(self):
+        program = assemble_text("adds r0, r1, #1\nhalt")
+        assert program.instructions[0].set_flags
+
+    def test_cmp_tst(self):
+        program = assemble_text("cmp r1, #4\ntst r2, #1\nhalt")
+        assert ops(program)[:2] == [Opcode.CMP, Opcode.TST]
+
+    def test_standalone_shift(self):
+        program = assemble_text("lsr r0, r1, #4\nhalt")
+        instr = program.instructions[0]
+        assert instr.op is Opcode.LSR and instr.imm == 4
+
+    def test_conditional_branches(self):
+        program = assemble_text("""
+            top:
+                beq top
+                bge top
+                halt
+        """)
+        assert program.instructions[0].cond is Cond.EQ
+        assert program.instructions[1].cond is Cond.GE
+
+
+class TestMemoryOperands:
+    def test_plain_load(self):
+        program = assemble_text("ldr r0, [r1]\nhalt")
+        instr = program.instructions[0]
+        assert instr.rn == r(1) and instr.imm == 0
+
+    def test_offset_load(self):
+        program = assemble_text("ldr r0, [r1, #8]\nhalt")
+        assert program.instructions[0].imm == 8
+
+    def test_indexed_load(self):
+        program = assemble_text("ldrb r0, [r1, r2, #4]\nhalt")
+        instr = program.instructions[0]
+        assert instr.rm == r(2) and instr.imm == 4
+
+    def test_store(self):
+        program = assemble_text("str r3, [r1, #4]\nhalt")
+        instr = program.instructions[0]
+        assert instr.op is Opcode.STR and instr.rs == r(3)
+
+    def test_data_directives_roundtrip(self):
+        program = assemble_text("""
+            .word 0x100: 1, 2, 0xDEAD
+            .byte 0x200: 9, 8, 7
+                mov r1, #0x100
+                ldr r2, [r1, #8]
+                mov r3, #0x200
+                ldrb r4, [r3, #2]
+                halt
+        """)
+        result = run_program(program)
+        assert result.regs.read(r(2)) == 0xDEAD
+        assert result.regs.read(r(4)) == 7
+
+
+class TestSimd:
+    def test_vadd_with_type(self):
+        program = assemble_text("vadd.i16 v0, v1, v2\nhalt")
+        instr = program.instructions[0]
+        assert instr.op is Opcode.VADD and instr.dtype is SimdType.I16
+
+    def test_vmla_accumulates(self):
+        program = assemble_text("""
+            mov r1, #3
+            vdup.i32 v1, r1
+            mov r2, #5
+            vdup.i32 v2, r2
+            mov r0, #0
+            vdup.i32 v0, r0
+            vmla.i32 v0, v1, v2
+            halt
+        """)
+        result = run_program(program)
+        from repro.isa.semantics import _lanes
+        assert _lanes(result.regs.read(v(0)), SimdType.I32) == [15] * 4
+
+    def test_missing_type_suffix_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble_text("vadd v0, v1, v2\nhalt")
+
+    def test_vector_memory(self):
+        program = assemble_text("""
+            .byte 0x100: 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+            mov r1, #0x100
+            vld1 v0, [r1]
+            mov r2, #0x200
+            vst1 v0, [r2]
+            halt
+        """)
+        result = run_program(program)
+        assert result.mem.read_block(0x200, 16) == bytes(range(1, 17))
+
+
+class TestEquivalenceWithBuilder:
+    def test_text_and_builder_produce_same_timing(self):
+        """The same kernel through both frontends simulates identically."""
+        from repro.core import MEDIUM, simulate
+        from repro.isa import Asm
+
+        text = assemble_text("""
+                mov r1, #500
+                mov r2, #0
+            loop:
+                eor r2, r2, r1
+                ror r2, r2, #3
+                subs r1, r1, #1
+                bne loop
+                halt
+        """)
+        builder = Asm("same")
+        builder.mov(r(1), 500)
+        builder.mov(r(2), 0)
+        builder.label("loop")
+        builder.eor(r(2), r(2), r(1))
+        builder.ror(r(2), r(2), 3)
+        builder.subs(r(1), r(1), 1)
+        builder.b("loop", cond=Cond.NE)
+        builder.halt()
+        a = simulate(text, MEDIUM)
+        b = simulate(builder.finish(), MEDIUM)
+        assert a.cycles == b.cycles

@@ -1,0 +1,184 @@
+"""Unit + property tests for the cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import Cache, MemoryConfig, MemoryHierarchy
+from repro.memory.prefetch import NextLinePrefetcher, StridePrefetcher
+
+
+class TestCacheBasics:
+    def make(self, **kw):
+        defaults = dict(size_bytes=1024, assoc=2, line_bytes=64)
+        defaults.update(kw)
+        return Cache("T", **defaults)
+
+    def test_geometry(self):
+        cache = self.make()
+        assert cache.num_sets == 8
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("bad", size_bytes=1000, assoc=3, line_bytes=64)
+
+    def test_cold_miss_then_hit(self):
+        cache = self.make()
+        hit, _ = cache.access(0x100)
+        assert not hit
+        hit, _ = cache.access(0x100)
+        assert hit
+
+    def test_same_line_different_offset_hits(self):
+        cache = self.make()
+        cache.access(0x100)
+        hit, _ = cache.access(0x13F)  # same 64B line
+        assert hit
+
+    def test_lru_eviction(self):
+        cache = self.make()  # 2-way, 8 sets, line 64
+        set_stride = 8 * 64  # addresses mapping to set 0
+        cache.access(0 * set_stride)
+        cache.access(1 * set_stride)
+        cache.access(0 * set_stride)           # refresh line 0 -> MRU
+        cache.access(2 * set_stride)           # evicts line 1 (LRU)
+        hit, _ = cache.access(0 * set_stride)
+        assert hit
+        hit, _ = cache.access(1 * set_stride)
+        assert not hit
+
+    def test_dirty_eviction_reports_writeback(self):
+        cache = self.make(assoc=1)
+        set_stride = cache.num_sets * 64
+        cache.access(0, is_write=True)
+        _, writeback = cache.access(set_stride)
+        assert writeback == 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = self.make(assoc=1)
+        set_stride = cache.num_sets * 64
+        cache.access(0)
+        _, writeback = cache.access(set_stride)
+        assert writeback is None
+
+    def test_prefetch_fill_counts_separately(self):
+        cache = self.make()
+        cache.fill_prefetch(0x200)
+        assert cache.stats.prefetch_fills == 1
+        hit, _ = cache.access(0x200)
+        assert hit
+        assert cache.stats.prefetch_hits == 1
+
+    def test_probe_does_not_disturb(self):
+        cache = self.make()
+        assert not cache.probe(0x300)
+        assert cache.stats.accesses == 0
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=1 << 16),
+                          st.booleans()), max_size=300))
+@settings(max_examples=50)
+def test_cache_invariants_hold_under_any_trace(trace):
+    cache = Cache("P", size_bytes=2048, assoc=4, line_bytes=64)
+    for addr, is_write in trace:
+        cache.access(addr, is_write=is_write)
+        # a line just accessed must be resident
+        assert cache.probe(addr)
+    cache.invariant_check()
+    assert cache.resident_lines() <= cache.num_sets * cache.assoc
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 14), min_size=1,
+                max_size=200))
+@settings(max_examples=50)
+def test_rereferencing_resident_lines_always_hits(addrs):
+    cache = Cache("P", size_bytes=64 * 1024, assoc=8, line_bytes=64)
+    unique_lines = {a // 64 for a in addrs}
+    if len(unique_lines) > 8:  # keep within one round of capacity
+        return
+    for a in addrs:
+        cache.access(a)
+    for a in addrs:
+        hit, _ = cache.access(a)
+        assert hit
+
+
+class TestStridePrefetcher:
+    def test_detects_constant_stride(self):
+        pf = StridePrefetcher(degree=2, threshold=2)
+        pc = 0x40
+        out = []
+        for i in range(5):
+            out = pf.observe(pc, 0x1000 + i * 64)
+        assert out == [0x1000 + 5 * 64, 0x1000 + 6 * 64]
+
+    def test_random_pattern_stays_quiet(self):
+        pf = StridePrefetcher(threshold=2)
+        for addr in (0, 9999, 31, 477, 12):
+            assert pf.observe(0, addr) == []
+
+    def test_stride_change_resets(self):
+        pf = StridePrefetcher(threshold=2)
+        for i in range(5):
+            pf.observe(0, i * 64)
+        assert pf.observe(0, 10_000) == []
+        assert pf.observe(0, 10_128) == []  # new stride, conf 0
+
+    def test_distinct_pcs_tracked_separately(self):
+        pf = StridePrefetcher(threshold=1)
+        for i in range(3):
+            pf.observe(1, i * 64)
+            pf.observe(2, i * 128)
+        assert pf.observe(1, 3 * 64) != pf.observe(2, 3 * 128)
+
+
+class TestNextLinePrefetcher:
+    def test_next_line(self):
+        pf = NextLinePrefetcher(line_bytes=64)
+        assert pf.observe_miss(0x1010) == 0x1040
+
+
+class TestHierarchy:
+    def test_latency_ladder(self):
+        mem = MemoryHierarchy(MemoryConfig(prefetch=False))
+        cfg = mem.config
+        cold = mem.load_latency(0x5000)
+        assert cold == cfg.l1_latency + cfg.l2_latency + cfg.dram_latency
+        warm = mem.load_latency(0x5000)
+        assert warm == cfg.l1_latency
+
+    def test_l2_hit_middle_latency(self):
+        cfg = MemoryConfig(l1_size=1024, l1_assoc=1, prefetch=False)
+        mem = MemoryHierarchy(cfg)
+        mem.load_latency(0x0)
+        # evict from tiny L1 but stay in L2
+        for i in range(1, 64):
+            mem.load_latency(i * 1024)
+        latency = mem.load_latency(0x0)
+        assert latency == cfg.l1_latency + cfg.l2_latency
+
+    def test_stride_stream_gets_prefetched(self):
+        mem = MemoryHierarchy(MemoryConfig())
+        misses_with_pf = 0
+        for i in range(64):
+            if mem.load_latency(i * 64, pc=7) > mem.config.l1_latency:
+                misses_with_pf += 1
+        mem2 = MemoryHierarchy(MemoryConfig(prefetch=False))
+        misses_without = 0
+        for i in range(64):
+            if mem2.load_latency(i * 64, pc=7) > mem2.config.l1_latency:
+                misses_without += 1
+        assert misses_with_pf < misses_without
+
+    def test_store_allocates(self):
+        mem = MemoryHierarchy(MemoryConfig(prefetch=False))
+        mem.store_latency(0x9000)
+        assert mem.load_latency(0x9000) == mem.config.l1_latency
+
+    def test_load_miss_accounting(self):
+        mem = MemoryHierarchy(MemoryConfig(prefetch=False))
+        mem.load_latency(0x100)
+        mem.load_latency(0x100)
+        assert mem.loads == 2
+        assert mem.l1_load_misses == 1

@@ -1,0 +1,142 @@
+"""Unit tests for pipeline substrates: branch predictor, FU pools, trace."""
+
+import pytest
+
+from repro.isa import Asm, Cond, Opcode, r
+from repro.isa.opcodes import OpClass
+from repro.pipeline.branch import GsharePredictor
+from repro.pipeline.resources import ExecutionResources, FUPool
+from repro.pipeline.trace import generate_trace
+from repro.pipeline.uop import Uop, UopState
+
+
+class TestGshare:
+    def test_learns_always_taken(self):
+        pred = GsharePredictor()
+        wrong = sum(pred.update(0x40, True) for _ in range(100))
+        assert wrong <= 2
+
+    def test_learns_alternating_pattern_via_history(self):
+        pred = GsharePredictor(history_bits=4)
+        outcomes = [True, False] * 200
+        wrong = sum(pred.update(0x10, t) for t in outcomes)
+        # after warm-up, history disambiguates the two contexts
+        assert wrong < 30
+
+    def test_accuracy_stat(self):
+        pred = GsharePredictor()
+        for _ in range(10):
+            pred.update(0, True)
+        assert pred.stats.predictions == 10
+        assert pred.stats.accuracy > 0.7
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(entries=1000)
+
+
+class TestFUPool:
+    def test_capacity(self):
+        pool = FUPool(OpClass.ALU, 2)
+        pool.reserve(5)
+        pool.reserve(5)
+        assert not pool.can_reserve(5)
+        assert pool.can_reserve(6)
+
+    def test_extra_cycle_reservation(self):
+        pool = FUPool(OpClass.ALU, 1)
+        pool.reserve(3, extra_cycle=True)
+        assert not pool.can_reserve(3)
+        assert not pool.can_reserve(4)
+        assert pool.can_reserve(5)
+
+    def test_extra_cycle_blocked_by_next_cycle(self):
+        pool = FUPool(OpClass.ALU, 1)
+        pool.reserve(4)
+        assert not pool.can_reserve(3, extra_cycle=True)
+        assert pool.can_reserve(3)
+
+    def test_overbooking_raises(self):
+        pool = FUPool(OpClass.ALU, 1)
+        pool.reserve(0)
+        with pytest.raises(RuntimeError):
+            pool.reserve(0)
+
+    def test_release_past(self):
+        pool = FUPool(OpClass.ALU, 1)
+        pool.reserve(0)
+        pool.release_past(10)
+        assert pool.free_at(0) == 1  # bookkeeping dropped
+
+    def test_resources_pools_exist(self):
+        res = ExecutionResources(alu=4, simd=3, fp=2, mem_ports=2)
+        assert res.pool_for(OpClass.ALU).count == 4
+        assert res.pool_for(OpClass.LOAD).count == 2
+        assert res.pool_for(OpClass.DIV).count == 1
+
+
+class TestTraceGeneration:
+    def _simple_program(self, n=5):
+        a = Asm("trace-test")
+        a.mov(r(1), n)
+        a.mov(r(2), 0)
+        a.label("loop")
+        a.add(r(2), r(2), r(1))
+        a.subs(r(1), r(1), 1)
+        a.b("loop", cond=Cond.NE)
+        a.halt()
+        return a.finish()
+
+    def test_trace_length_matches_dynamic_count(self):
+        trace = generate_trace(self._simple_program(5))
+        # 2 movs + 5*(add,subs,b) + halt
+        assert len(trace) == 2 + 15 + 1
+
+    def test_trace_records_branch_outcomes(self):
+        trace = generate_trace(self._simple_program(2))
+        branches = [e for e in trace.entries if e.instr.is_branch()]
+        assert [e.taken for e in branches] == [True, False]
+
+    def test_trace_final_state_matches_interpreter(self):
+        from repro.isa import run_program
+        program = self._simple_program(7)
+        trace = generate_trace(program)
+        ref = run_program(program)
+        assert trace.final_regs == ref.regs.snapshot()
+        assert trace.final_mem == ref.mem.snapshot()
+
+    def test_trace_records_memory_info(self):
+        a = Asm("mem")
+        a.mov(r(1), 0x100)
+        a.mov(r(2), 42)
+        a.str_(r(2), r(1), 4)
+        a.ldr(r(3), r(1), 4)
+        a.halt()
+        trace = generate_trace(a.finish())
+        store = trace.entries[2]
+        load = trace.entries[3]
+        assert store.is_store and store.mem_addr == 0x104
+        assert not load.is_store and load.mem_addr == 0x104
+
+    def test_runaway_program_rejected(self):
+        a = Asm("forever")
+        a.label("loop")
+        a.b("loop")
+        a.halt()
+        with pytest.raises(RuntimeError):
+            generate_trace(a.finish(), max_instructions=1000)
+
+
+class TestUop:
+    def test_uop_wraps_trace_entry(self):
+        trace = generate_trace(TestTraceGeneration()._simple_program(1))
+        uop = Uop(0, trace.entries[0])
+        assert uop.state is UopState.DISPATCHED
+        assert uop.instr.op is Opcode.MOV
+        assert uop.seq == 0
+
+    def test_uop_slots_block_arbitrary_attrs(self):
+        trace = generate_trace(TestTraceGeneration()._simple_program(1))
+        uop = Uop(0, trace.entries[0])
+        with pytest.raises(AttributeError):
+            uop.bogus_field = 1

@@ -1,0 +1,183 @@
+"""Unit tests for the structural delay models."""
+
+import math
+
+import pytest
+
+from repro.isa.opcodes import Opcode, SimdType
+from repro.timing import (
+    DEFAULT_TECH,
+    KoggeStoneAdder,
+    TechParams,
+    barrel_shifter_delay_ps,
+    fig1_table,
+    fig2_series,
+    ks_adder_delay_ps,
+    logic_unit_delay_ps,
+    scalar_op_delay_ps,
+    shifter_stages,
+    simd_op_delay_ps,
+    type_slack_table,
+    validate_tech,
+    vmla_accumulate_delay_ps,
+    worst_case_alu_delay_ps,
+)
+
+
+class TestKoggeStone:
+    def test_levels_matches_log2(self):
+        assert KoggeStoneAdder(16).levels == 4
+        assert KoggeStoneAdder(32).levels == 5
+        assert KoggeStoneAdder(64).levels == 6
+
+    def test_prefix_network_shape(self):
+        adder = KoggeStoneAdder(8)
+        network = adder.prefix_network()
+        # level 0: 8 nodes with no fan-in
+        assert all(network[(0, b)] == [] for b in range(8))
+        # top level bit 7 combines with bit 3 (span 4)
+        assert (2, 3) in network[(3, 7)]
+
+    def test_critical_levels_grow_with_width(self):
+        adder = KoggeStoneAdder(16)
+        levels = [adder.critical_path_levels(w) for w in range(1, 17)]
+        assert levels == sorted(levels)
+        assert levels[-1] == 4
+        assert levels[0] >= 1
+
+    def test_critical_levels_log_steps(self):
+        """Delay steps occur at powers of two (Fig. 2 colour bands)."""
+        adder = KoggeStoneAdder(16)
+        assert (adder.critical_path_levels(4)
+                < adder.critical_path_levels(5))
+        assert (adder.critical_path_levels(8)
+                < adder.critical_path_levels(9))
+
+    def test_delay_monotone_in_width(self):
+        delays = [ks_adder_delay_ps(w) for w in range(1, 33)]
+        assert delays == sorted(delays)
+
+    def test_delay_clamps_beyond_word(self):
+        assert ks_adder_delay_ps(64) == ks_adder_delay_ps(32)
+
+    def test_fig2_series_covers_all_widths(self):
+        series = fig2_series(16)
+        assert [w for w, _ in series] == list(range(1, 17))
+        assert series[-1][1] > series[0][1]
+
+
+class TestShifter:
+    def test_stage_count(self):
+        assert shifter_stages(32) == 5
+        assert shifter_stages(16) == 4
+        assert shifter_stages(2) == 1
+
+    def test_delay_scales_with_stages(self):
+        assert (barrel_shifter_delay_ps(32)
+                == 5 * DEFAULT_TECH.shifter_stage_ps)
+
+
+class TestScalarOpDelays:
+    def test_logic_faster_than_shift_faster_than_arith(self):
+        logic = scalar_op_delay_ps(Opcode.AND)
+        shift = scalar_op_delay_ps(Opcode.LSR)
+        arith = scalar_op_delay_ps(Opcode.ADD)
+        flex = scalar_op_delay_ps(Opcode.ADD, flex_shift=True)
+        assert logic < shift < arith < flex
+
+    def test_logic_width_independent(self):
+        assert (scalar_op_delay_ps(Opcode.AND, effective_width=8)
+                == scalar_op_delay_ps(Opcode.AND, effective_width=32))
+
+    def test_arith_width_dependent(self):
+        assert (scalar_op_delay_ps(Opcode.ADD, effective_width=8)
+                < scalar_op_delay_ps(Opcode.ADD, effective_width=32))
+
+    def test_carry_ops_slower(self):
+        assert (scalar_op_delay_ps(Opcode.ADC)
+                > scalar_op_delay_ps(Opcode.ADD))
+
+    def test_non_alu_op_rejected(self):
+        with pytest.raises(ValueError):
+            scalar_op_delay_ps(Opcode.MUL)
+
+    def test_worst_case_fits_clock(self):
+        validate_tech(DEFAULT_TECH)
+        worst = worst_case_alu_delay_ps()
+        assert worst + DEFAULT_TECH.setup_ps <= DEFAULT_TECH.clock_ps
+
+    def test_miscalibrated_tech_rejected(self):
+        bad = TechParams(adder_prefix_ps=100.0)
+        with pytest.raises(ValueError):
+            validate_tech(bad)
+
+    def test_fig1_table_shape(self):
+        """Fig. 1's qualitative shape: logic < shifts < arith < composites,
+        and everything is positive and below the clock."""
+        table = dict(fig1_table())
+        assert len(table) == 23
+        assert all(0 < ps < DEFAULT_TECH.clock_ps for ps in table.values())
+        assert table["MOV"] < table["LSR"] < table["ADD"] < table["ADD-LSR"]
+        assert table["ADD-LSR"] == table["SUB-ROR"]
+        # logic group spans roughly a quarter of the cycle
+        assert table["AND"] / DEFAULT_TECH.clock_ps < 0.35
+
+    def test_more_than_half_cycle_slack_is_common(self):
+        """Sec. I: data slack 'can often be as high as half the clock
+        period' — logic and shift ops must leave > 50 % slack."""
+        for name in ("AND", "ORR", "EOR", "MOV", "LSR", "ROR"):
+            ps = dict(fig1_table())[name]
+            assert 1 - ps / DEFAULT_TECH.clock_ps > 0.5
+
+
+class TestSimdTiming:
+    def test_type_slack_monotone(self):
+        table = type_slack_table()
+        assert (table[SimdType.I8] < table[SimdType.I16]
+                < table[SimdType.I32] < table[SimdType.I64])
+
+    def test_lane_logic_type_independent(self):
+        assert (simd_op_delay_ps(Opcode.VAND, SimdType.I8)
+                == simd_op_delay_ps(Opcode.VAND, SimdType.I64))
+
+    def test_lane_adders_type_dependent(self):
+        assert (simd_op_delay_ps(Opcode.VADD, SimdType.I8)
+                < simd_op_delay_ps(Opcode.VADD, SimdType.I64))
+
+    def test_vmax_slower_than_vadd(self):
+        assert (simd_op_delay_ps(Opcode.VMAX, SimdType.I16)
+                > simd_op_delay_ps(Opcode.VADD, SimdType.I16))
+
+    def test_vmla_accumulate_within_cycle(self):
+        for dtype in SimdType:
+            assert (vmla_accumulate_delay_ps(dtype)
+                    < DEFAULT_TECH.clock_ps)
+
+    def test_multicycle_op_rejected(self):
+        with pytest.raises(ValueError):
+            simd_op_delay_ps(Opcode.VMUL, SimdType.I8)
+
+    def test_i64_lane_near_cycle(self):
+        """64-bit lanes are the SIMD worst case timing the unit."""
+        worst = type_slack_table()[SimdType.I64]
+        assert worst / DEFAULT_TECH.clock_ps > 0.8
+
+
+class TestTimingProperties:
+    def test_all_single_cycle_delays_fit_clock(self):
+        from repro.isa.opcodes import ARITH_OPS, LOGICAL_OPS, SHIFT_OPS
+        for op in ARITH_OPS | LOGICAL_OPS | SHIFT_OPS:
+            for width in (1, 8, 16, 24, 32):
+                for flex in (False, True):
+                    ps = scalar_op_delay_ps(op, effective_width=width,
+                                            flex_shift=flex)
+                    assert ps + DEFAULT_TECH.setup_ps <= DEFAULT_TECH.clock_ps
+
+    def test_delay_monotone_in_width_for_all_arith(self):
+        from repro.isa.opcodes import ARITH_OPS
+        for op in ARITH_OPS:
+            prev = 0.0
+            for width in range(1, 33):
+                ps = scalar_op_delay_ps(op, effective_width=width)
+                assert ps >= prev
+                prev = ps

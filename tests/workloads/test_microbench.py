@@ -1,0 +1,60 @@
+"""Unit tests for the characterisation microbenchmarks."""
+
+import pytest
+
+from repro.core import BIG, RecycleMode, simulate
+from repro.isa import run_program
+from repro.workloads.microbench import MICROBENCHES, MicroBench
+
+
+class TestRegistry:
+    def test_all_slack_classes_present(self):
+        assert set(MICROBENCHES) == {
+            "logic", "shift", "narrow-arith", "wide-arith", "flex-arith",
+            "simd-i8", "simd-i64"}
+
+    def test_all_build_and_run(self):
+        for name, micro in MICROBENCHES.items():
+            result = run_program(micro.build(5))
+            assert result.halted, name
+
+    def test_scale_controls_length(self):
+        micro = MICROBENCHES["logic"]
+        short = run_program(micro.build(5)).instructions
+        long = run_program(micro.build(20)).instructions
+        assert long > 3 * short
+
+
+class TestPredictions:
+    def test_pairing_bound_applies_below_half_cycle(self):
+        logic = MICROBENCHES["logic"]
+        # 3-tick ops cap at 2/cycle: predicted 100%, not 8/3-1
+        assert logic.predicted_speedup() == pytest.approx(1.0)
+
+    def test_self_sustaining_chains_use_their_ticks(self):
+        assert MICROBENCHES["shift"].predicted_speedup() == \
+            pytest.approx(8 / 5 - 1)
+        assert MICROBENCHES["wide-arith"].predicted_speedup() == \
+            pytest.approx(8 / 7 - 1)
+
+    def test_no_slack_classes_predict_zero(self):
+        assert MICROBENCHES["flex-arith"].predicted_speedup() == 0.0
+        assert MICROBENCHES["simd-i64"].predicted_speedup() == 0.0
+
+    def test_custom_precision(self):
+        micro = MicroBench("x", 6, MICROBENCHES["logic"].build)
+        assert micro.predicted_speedup(16) == pytest.approx(16 / 8 - 1)
+
+
+class TestEndToEnd:
+    def test_flex_control_never_accelerates(self):
+        program = MICROBENCHES["flex-arith"].build(150)
+        base = simulate(program, BIG.with_mode(RecycleMode.BASELINE))
+        red = simulate(program, BIG.with_mode(RecycleMode.REDSOC))
+        assert abs(base.cycles - red.cycles) <= base.cycles * 0.02
+
+    def test_logic_chain_accelerates_strongly(self):
+        program = MICROBENCHES["logic"].build(200)
+        base = simulate(program, BIG.with_mode(RecycleMode.BASELINE))
+        red = simulate(program, BIG.with_mode(RecycleMode.REDSOC))
+        assert base.cycles / red.cycles > 1.4
