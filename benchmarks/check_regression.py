@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Perf-regression gate over a smoke-campaign JSON.
+
+Compares the per-job IPC and speedup of a fresh
+``BENCH_campaign.json`` (produced by ``python -m repro.campaign run
+--smoke``) against the committed reference numbers in
+``benchmarks/smoke_reference.json`` and exits non-zero when any metric
+drifts by more than the tolerance (default 2%).
+
+Both metrics reduce to cycle-count ratios, so drift is measured
+relatively: IPC as ``|new/ref - 1|`` and speedup on the ``1 + s``
+ratio (i.e. the baseline/mode cycle ratio), which keeps the check
+meaningful when speedups are close to zero.
+
+The timing model is deterministic — identical source always reproduces
+the reference exactly.  The tolerance only absorbs *intentional* small
+model changes; anything larger must update the reference explicitly::
+
+    python -m repro.campaign run --smoke --force
+    python benchmarks/check_regression.py BENCH_campaign.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_REFERENCE = Path(__file__).parent / "smoke_reference.json"
+DEFAULT_TOLERANCE = 0.02
+
+
+def _job_key(record):
+    return (record["suite"], record["bench"], record["core"],
+            record["mode"])
+
+
+def _reference_payload(campaign):
+    """Strip a campaign document down to the gated metrics."""
+    jobs = {}
+    for rec in campaign["results"]:
+        jobs["/".join(_job_key(rec))] = {
+            "cycles": rec["cycles"],
+            "ipc": round(rec["ipc"], 6),
+            "speedup": (round(rec["speedup"], 6)
+                        if rec.get("speedup") is not None else None),
+        }
+    return {"schema": 1, "jobs": jobs}
+
+
+def compare(campaign, reference, tolerance):
+    """Return a list of human-readable drift failures."""
+    failures = []
+    seen = set()
+    ref_jobs = reference["jobs"]
+    for rec in campaign["results"]:
+        name = "/".join(_job_key(rec))
+        seen.add(name)
+        ref = ref_jobs.get(name)
+        if ref is None:
+            failures.append(f"{name}: no reference entry "
+                            f"(update smoke_reference.json)")
+            continue
+        drift = abs(rec["ipc"] / ref["ipc"] - 1.0)
+        if drift > tolerance:
+            failures.append(
+                f"{name}: IPC drift {drift:.1%} "
+                f"(ref {ref['ipc']:.3f}, got {rec['ipc']:.3f})")
+        if ref.get("speedup") is not None:
+            got = rec.get("speedup")
+            if got is None:
+                failures.append(f"{name}: speedup missing "
+                                f"(baseline job absent?)")
+                continue
+            drift = abs((1.0 + got) / (1.0 + ref["speedup"]) - 1.0)
+            if drift > tolerance:
+                failures.append(
+                    f"{name}: speedup drift {drift:.1%} "
+                    f"(ref {ref['speedup']:+.4f}, got {got:+.4f})")
+    missing = set(ref_jobs) - seen
+    for name in sorted(missing):
+        failures.append(f"{name}: in reference but not in campaign "
+                        f"(smoke set shrank?)")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("campaign", type=Path,
+                        help="BENCH_campaign.json to check")
+    parser.add_argument("--reference", type=Path,
+                        default=DEFAULT_REFERENCE,
+                        help=f"reference JSON (default: "
+                             f"{DEFAULT_REFERENCE})")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="max relative drift (default: 0.02)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the reference from this campaign "
+                             "instead of checking")
+    args = parser.parse_args(argv)
+
+    with open(args.campaign, "r", encoding="utf-8") as fh:
+        campaign = json.load(fh)
+
+    if args.update:
+        payload = _reference_payload(campaign)
+        with open(args.reference, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.reference} ({len(payload['jobs'])} jobs)")
+        return 0
+
+    if not args.reference.is_file():
+        print(f"error: no reference at {args.reference}; create one "
+              f"with --update", file=sys.stderr)
+        return 2
+
+    with open(args.reference, "r", encoding="utf-8") as fh:
+        reference = json.load(fh)
+
+    failures = compare(campaign, reference, args.tolerance)
+    if failures:
+        print(f"PERF REGRESSION ({len(failures)} failure(s), "
+              f"tolerance {args.tolerance:.0%}):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    jobs = len(campaign["results"])
+    print(f"perf gate OK: {jobs} jobs within {args.tolerance:.0%} "
+          f"of reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,12 @@
 """Shared infrastructure for the evaluation benches.
 
 Every bench regenerates one of the paper's tables/figures.  Simulations
-are expensive, so results are cached per (benchmark, core, mode) in a
-session-scoped store: Fig. 13/14/15 and the power table all reuse the
-same runs.  Traces are generated once per workload.
+are expensive, so results are cached at two levels: a session-scoped
+in-memory memo (Fig. 13/14/15 and the power table reuse the same runs
+within one pytest session) and the persistent on-disk campaign cache
+(``.redsoc-cache/``), which is shared with ``python -m repro.campaign``
+— a bench session warms the CLI's cache and vice versa.  Traces are
+generated once per workload.
 """
 
 from __future__ import annotations
@@ -14,7 +17,13 @@ from typing import Dict, Tuple
 import pytest
 
 from repro.baselines.ts import TSResult, analyze_ts
-from repro.core import CORES, RecycleMode, SimResult, simulate
+from repro.campaign.cache import (
+    ResultCache,
+    cached_simulate,
+    trace_fingerprint,
+    trace_index_key,
+)
+from repro.core import CORES, RecycleMode, SimResult
 from repro.pipeline.trace import Trace, generate_trace
 from repro.workloads.suites import SUITES, default_scale
 
@@ -27,6 +36,7 @@ CORE_ORDER = ("big", "medium", "small")
 class Evaluation:
     """Lazy, memoised access to every simulation the figures need."""
 
+    cache: ResultCache = field(default_factory=ResultCache)
     _traces: Dict[Tuple[str, str], Trace] = field(default_factory=dict)
     _runs: Dict[Tuple[str, str, str, str], SimResult] = field(
         default_factory=dict)
@@ -37,7 +47,12 @@ class Evaluation:
         if key not in self._traces:
             builder = SUITES[suite][bench]
             program = builder(**default_scale(suite, bench))
-            self._traces[key] = generate_trace(program)
+            trace = generate_trace(program)
+            self._traces[key] = trace
+            # publish the fingerprint so CLI campaigns can answer
+            # warm jobs without regenerating this trace
+            self.cache.put_trace_fingerprint(
+                trace_index_key(suite, bench), trace_fingerprint(trace))
         return self._traces[key]
 
     def run(self, suite: str, bench: str, core: str,
@@ -45,7 +60,8 @@ class Evaluation:
         key = (suite, bench, core, mode.value)
         if key not in self._runs:
             config = CORES[core].with_mode(mode)
-            self._runs[key] = simulate(self.trace(suite, bench), config)
+            self._runs[key] = cached_simulate(
+                self.trace(suite, bench), config, self.cache)
         return self._runs[key]
 
     def speedup(self, suite: str, bench: str, core: str,

@@ -6,7 +6,6 @@ static threshold on one representative benchmark per suite (MEDIUM
 core, adaptation off) and also shows the dynamic controller's result.
 """
 
-import pytest
 
 from repro.analysis.report import print_table
 from repro.core import CORES, RecycleMode, simulate

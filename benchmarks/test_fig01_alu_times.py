@@ -7,12 +7,10 @@ composites (ADD-LSR / SUB-ROR).
 """
 
 from repro.analysis.report import print_table
-from repro.core import SlackLUT
 from repro.timing import DEFAULT_TECH, fig1_table
 
 
 def generate_fig1():
-    lut = SlackLUT()
     rows = []
     for name, ps in fig1_table():
         fraction = ps / DEFAULT_TECH.clock_ps

@@ -5,8 +5,8 @@ its Table II description says it computes.
 """
 
 from repro.analysis.report import print_table
-from repro.isa import r, run_program
-from repro.workloads import ML_KERNELS, conv3x3, pool_avg, pool_max, relu
+from repro.isa import run_program
+from repro.workloads import ML_KERNELS, pool_max, relu
 
 
 DESCRIPTIONS = {

@@ -1,0 +1,58 @@
+"""Campaign runner: batch simulation with a persistent result cache.
+
+The full paper evaluation replays every (suite, benchmark, core, mode)
+combination through the pure-Python cycle model.  This package treats
+those simulations as *jobs*: enumerable, content-addressed, cacheable
+and shardable across worker processes.
+
+* :mod:`repro.campaign.cache` — persistent on-disk result cache keyed by
+  a stable hash of (trace, core config, model version),
+* :mod:`repro.campaign.jobs` — job enumeration from the workload
+  registry and Table-I core presets,
+* :mod:`repro.campaign.runner` — serial or process-pool execution,
+* :mod:`repro.campaign.report` — ``BENCH_campaign.json`` plus the
+  human-readable summary table,
+* :mod:`repro.campaign.cli` — ``python -m repro.campaign run|report|clean``.
+
+The pytest benches (``benchmarks/conftest.py``) read through the same
+cache, so CLI campaigns and bench sessions share simulation runs.
+"""
+
+from .cache import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    cached_simulate,
+    config_fingerprint,
+    default_cache_dir,
+    model_version,
+    payload_to_result,
+    result_key,
+    result_key_from_fingerprint,
+    result_to_payload,
+    trace_fingerprint,
+    trace_index_key,
+    trace_version,
+)
+from .jobs import (
+    CORE_ORDER,
+    CampaignJob,
+    SMOKE_BENCHMARKS,
+    SUITE_ORDER,
+    enumerate_jobs,
+    job_config,
+    job_trace,
+    smoke_jobs,
+)
+from .report import render_summary, write_campaign_json
+from .runner import CampaignResult, JobRecord, run_campaign
+
+__all__ = [
+    "CACHE_DIR_ENV", "CORE_ORDER", "CampaignJob", "CampaignResult",
+    "JobRecord", "ResultCache", "SMOKE_BENCHMARKS", "SUITE_ORDER",
+    "cached_simulate", "config_fingerprint", "default_cache_dir",
+    "enumerate_jobs", "job_config", "job_trace", "model_version",
+    "payload_to_result", "render_summary", "result_key",
+    "result_key_from_fingerprint", "result_to_payload", "run_campaign",
+    "smoke_jobs", "trace_fingerprint", "trace_index_key",
+    "trace_version", "write_campaign_json",
+]

@@ -1,0 +1,148 @@
+"""``python -m repro.campaign`` — run, report, clean.
+
+Examples::
+
+    # full evaluation grid, sharded over every CPU
+    python -m repro.campaign run
+
+    # the CI smoke set (one small benchmark per suite, small core)
+    python -m repro.campaign run --smoke --jobs 2
+
+    # one benchmark, two modes, tiny scale (fast sanity check)
+    python -m repro.campaign run --suites ml --benchmarks pool0 \
+        --modes baseline redsoc --scale 4
+
+    # re-render the summary of a previous campaign
+    python -m repro.campaign report --input BENCH_campaign.json
+
+    # drop every cached result
+    python -m repro.campaign clean
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .cache import ResultCache, default_cache_dir
+from .jobs import (
+    CORE_ORDER,
+    MODE_ORDER,
+    SUITE_ORDER,
+    enumerate_jobs,
+    smoke_jobs,
+)
+from .report import load_campaign_json, render_summary, write_campaign_json
+from .runner import run_campaign
+
+DEFAULT_OUTPUT = "BENCH_campaign.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Parallel ReDSOC simulation campaigns with a "
+                    "persistent result cache.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute a campaign")
+    run.add_argument("--suites", nargs="+", metavar="SUITE",
+                     help=f"subset of {list(SUITE_ORDER)}")
+    run.add_argument("--benchmarks", nargs="+", metavar="BENCH",
+                     help="subset of benchmarks within the suites")
+    run.add_argument("--cores", nargs="+", metavar="CORE",
+                     help=f"subset of {list(CORE_ORDER)}")
+    run.add_argument("--modes", nargs="+", metavar="MODE",
+                     help=f"subset of {list(MODE_ORDER)}")
+    run.add_argument("--scale", type=int, default=None,
+                     help="uniform scale override (default: per-suite "
+                          "evaluation scales)")
+    run.add_argument("--smoke", action="store_true",
+                     help="one small benchmark per suite on the small "
+                          "core (the CI smoke set)")
+    run.add_argument("--jobs", "-j", type=int,
+                     default=os.cpu_count() or 1, metavar="N",
+                     help="worker processes (default: cpu count)")
+    run.add_argument("--cache-dir", type=Path, default=None,
+                     help="cache root (default: $REDSOC_CACHE_DIR or "
+                          "./.redsoc-cache)")
+    run.add_argument("--force", action="store_true",
+                     help="re-simulate even on cache hits")
+    run.add_argument("--output", "-o", type=Path,
+                     default=Path(DEFAULT_OUTPUT),
+                     help=f"result JSON path (default: {DEFAULT_OUTPUT})")
+    run.add_argument("--quiet", "-q", action="store_true",
+                     help="suppress per-job progress and summary")
+
+    report = sub.add_parser("report",
+                            help="summarise an existing campaign JSON")
+    report.add_argument("--input", "-i", type=Path,
+                        default=Path(DEFAULT_OUTPUT),
+                        help=f"campaign JSON (default: {DEFAULT_OUTPUT})")
+
+    clean = sub.add_parser("clean", help="delete the result cache")
+    clean.add_argument("--cache-dir", type=Path, default=None,
+                       help="cache root (default: $REDSOC_CACHE_DIR or "
+                            "./.redsoc-cache)")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.smoke:
+        jobs = smoke_jobs(modes=args.modes, scale=args.scale)
+    else:
+        jobs = enumerate_jobs(suites=args.suites,
+                              benchmarks=args.benchmarks,
+                              cores=args.cores, modes=args.modes,
+                              scale=args.scale)
+    if not jobs:
+        print("no jobs selected", file=sys.stderr)
+        return 2
+
+    def progress(record):
+        if not args.quiet:
+            status = "hit " if record.cache_hit else "sim "
+            print(f"[{status}] {record.label:40s} "
+                  f"cycles={record.cycles:<8d} ipc={record.ipc:.3f} "
+                  f"({record.wall_time_s:.2f}s)")
+
+    result = run_campaign(jobs, workers=max(1, args.jobs),
+                          cache_dir=args.cache_dir, force=args.force,
+                          progress=progress)
+    path = write_campaign_json(result, args.output)
+    if not args.quiet:
+        print()
+        print(render_summary(result.to_payload()))
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if not args.input.is_file():
+        print(f"no campaign JSON at {args.input} "
+              f"(run `python -m repro.campaign run` first)",
+              file=sys.stderr)
+        return 2
+    print(render_summary(load_campaign_json(args.input)))
+    return 0
+
+
+def _cmd_clean(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    removed = cache.clear()
+    print(f"removed {removed} cached result(s) from {cache.root}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {"run": _cmd_run, "report": _cmd_report,
+               "clean": _cmd_clean}[args.command]
+    try:
+        return handler(args)
+    except ValueError as exc:        # bad suite/bench/core/mode names
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,53 @@
+"""Campaign output: machine-readable JSON + human summary table."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.analysis.report import format_table, percent
+
+from .runner import CampaignResult
+
+
+def write_campaign_json(result: CampaignResult, path: Path) -> Path:
+    """Write ``BENCH_campaign.json`` and return its path."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result.to_payload(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def render_summary(payload: Dict[str, Any]) -> str:
+    """Human summary of a campaign payload (fresh or loaded from disk)."""
+    rows: List[List[Any]] = []
+    for rec in payload["results"]:
+        speedup = rec.get("speedup")
+        rows.append([
+            rec["suite"], rec["bench"], rec["core"], rec["mode"],
+            rec["cycles"], f"{rec['ipc']:.3f}",
+            percent(speedup) if speedup is not None else "-",
+            "hit" if rec["cache_hit"] else "miss",
+            f"{rec['wall_time_s']:.2f}s",
+        ])
+    table = format_table(
+        "Campaign results",
+        ["suite", "bench", "core", "mode", "cycles", "IPC", "speedup",
+         "cache", "time"],
+        rows)
+    cache = payload["cache"]
+    footer = (f"{payload['jobs']} jobs, {payload['workers']} worker(s), "
+              f"{payload['wall_time_s']:.2f}s wall; cache "
+              f"{cache['hits']} hit / {cache['misses']} miss "
+              f"({percent(cache['hit_rate'])})")
+    return f"{table}\n{footer}"
+
+
+def load_campaign_json(path: Path) -> Dict[str, Any]:
+    """Read a ``BENCH_campaign.json`` document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

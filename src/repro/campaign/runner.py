@@ -1,0 +1,190 @@
+"""Serial / process-pool campaign execution.
+
+Jobs are independent, deterministic, and read/write a shared on-disk
+cache, so sharding is embarrassingly parallel: each worker process
+materialises its own traces (memoised per process), probes the cache,
+and simulates only on a miss.  Cache writes are atomic, and identical
+keys always carry identical content, so racing workers are harmless.
+
+``run_campaign`` keeps the results in submission (evaluation) order
+regardless of worker scheduling, and joins every non-baseline record
+with its ``(suite, bench, core)`` baseline to compute the paper's
+speedup metric.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import RecycleMode
+
+from .cache import (
+    ResultCache,
+    model_version,
+    payload_to_result,
+    result_key_from_fingerprint,
+    result_to_payload,
+    trace_fingerprint,
+    trace_index_key,
+)
+from repro.core.cpu import simulate
+
+from .jobs import CampaignJob, job_config, job_trace
+
+
+@dataclass
+class JobRecord:
+    """Outcome of one campaign job."""
+
+    suite: str
+    bench: str
+    core: str
+    mode: str
+    key: str
+    cycles: int
+    committed: int
+    ipc: float
+    cache_hit: bool
+    wall_time_s: float
+    speedup: Optional[float] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.suite}/{self.bench}@{self.core}:{self.mode}"
+
+
+@dataclass
+class CampaignResult:
+    """All records of one campaign invocation plus cache accounting."""
+
+    records: List[JobRecord] = field(default_factory=list)
+    workers: int = 1
+    wall_time_s: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for r in self.records if r.cache_hit)
+
+    @property
+    def misses(self) -> int:
+        return len(self.records) - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / len(self.records) if self.records else 0.0
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON document written to ``BENCH_campaign.json``."""
+        return {
+            "schema": 1,
+            "model_version": model_version(),
+            "workers": self.workers,
+            "jobs": len(self.records),
+            "wall_time_s": round(self.wall_time_s, 3),
+            "cache": {"hits": self.hits, "misses": self.misses,
+                      "hit_rate": round(self.hit_rate, 4)},
+            "results": [asdict(r) for r in self.records],
+        }
+
+
+def _execute_job(job: CampaignJob, cache_dir: str,
+                 force: bool) -> JobRecord:
+    """Run one job against the shared cache (worker entry point).
+
+    Fast path: the trace-fingerprint index resolves the result key
+    without regenerating the trace, so a fully-warm job is three small
+    file reads.  Slow path: generate the trace, record its fingerprint
+    in the index, probe again, and simulate only on a true miss.
+    """
+    start = time.perf_counter()
+    cache = ResultCache(Path(cache_dir))
+    config = job_config(job)
+    tkey = trace_index_key(job.suite, job.bench, job.scale)
+    result = None
+    cache_hit = False
+
+    if not force:
+        fingerprint = cache.get_trace_fingerprint(tkey)
+        if fingerprint is not None:
+            key = result_key_from_fingerprint(fingerprint, config)
+            payload = cache.get(key)
+            if payload is not None:
+                result = payload_to_result(payload, config)
+                cache_hit = True
+
+    if result is None:
+        trace = job_trace(job)
+        fingerprint = trace_fingerprint(trace)
+        cache.put_trace_fingerprint(tkey, fingerprint)
+        key = result_key_from_fingerprint(fingerprint, config)
+        payload = None if force else cache.get(key)
+        if payload is not None:
+            result = payload_to_result(payload, config)
+            cache_hit = True
+        else:
+            result = simulate(trace, config)
+            cache.put(key, result_to_payload(result))
+
+    return JobRecord(
+        suite=job.suite, bench=job.bench, core=job.core, mode=job.mode,
+        key=key,
+        cycles=result.cycles, committed=result.stats.committed,
+        ipc=result.ipc, cache_hit=cache_hit,
+        wall_time_s=time.perf_counter() - start)
+
+
+def _attach_speedups(records: Sequence[JobRecord]) -> None:
+    """Fill ``speedup`` on every record with a same-shape baseline."""
+    baselines: Dict[Tuple[str, str, str], int] = {}
+    for rec in records:
+        if rec.mode == RecycleMode.BASELINE.value:
+            baselines[(rec.suite, rec.bench, rec.core)] = rec.cycles
+    for rec in records:
+        base = baselines.get((rec.suite, rec.bench, rec.core))
+        if base is not None and rec.mode != RecycleMode.BASELINE.value:
+            rec.speedup = base / rec.cycles - 1.0
+
+
+def run_campaign(jobs: Sequence[CampaignJob], *,
+                 workers: int = 1,
+                 cache_dir: Optional[Path] = None,
+                 force: bool = False,
+                 progress=None) -> CampaignResult:
+    """Execute *jobs*, sharded over *workers* processes.
+
+    ``workers <= 1`` runs everything in-process (useful under pytest
+    and for debugging); results are identical either way because the
+    timing model is deterministic.  *progress* is an optional callable
+    receiving each finished :class:`JobRecord`.
+    """
+    cache_root = Path(cache_dir) if cache_dir is not None \
+        else ResultCache().root
+    start = time.perf_counter()
+    records: List[JobRecord] = []
+
+    if workers <= 1 or len(jobs) <= 1:
+        workers = 1
+        for job in jobs:
+            record = _execute_job(job, str(cache_root), force)
+            records.append(record)
+            if progress is not None:
+                progress(record)
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_execute_job, job, str(cache_root),
+                                   force)
+                       for job in jobs]
+            # collect in submission order so reports stay stable
+            for future in futures:
+                record = future.result()
+                records.append(record)
+                if progress is not None:
+                    progress(record)
+
+    _attach_speedups(records)
+    return CampaignResult(records=records, workers=workers,
+                          wall_time_s=time.perf_counter() - start)

@@ -597,7 +597,6 @@ class CoreSimulator:
                       cycle: int) -> None:
         uop = Uop(seq, entry)
         instr = entry.instr
-        config = self.config
         self._decode_timing(uop)
 
         # rename: resolve register sources through the RAT

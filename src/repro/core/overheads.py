@@ -20,7 +20,7 @@ weighted by how often each structure is touched per instruction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from .config import BIG, CoreConfig

@@ -27,7 +27,7 @@ This module provides that machinery:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from .slack_lut import SlackLUT

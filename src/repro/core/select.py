@@ -21,7 +21,7 @@ fast path used in the hot simulator loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence
 
 
 @dataclass(frozen=True)

@@ -31,7 +31,6 @@ from repro.isa.instruction import Instruction
 from repro.isa.opcodes import (
     ARITH_OPS,
     LOGICAL_OPS,
-    Opcode,
     SHIFT_OPS,
     SIMD_ACCUMULATE_OPS,
     SIMD_SINGLE_CYCLE_OPS,

@@ -23,7 +23,7 @@ replay).  The resetting policy keeps aggressive errors in the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.semantics import width_bucket
 

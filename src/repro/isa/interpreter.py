@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from .instruction import Instruction
 from .program import Program
 from .registers import Reg, RegisterFile
 from .semantics import Memory, execute

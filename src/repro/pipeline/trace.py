@@ -17,12 +17,12 @@ wrong-path *fetch bandwidth* is approximated by the redirect penalty.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.isa.instruction import Instruction
 from repro.isa.program import Program
 from repro.isa.registers import Reg, RegisterFile
-from repro.isa.semantics import Memory, execute
+from repro.isa.semantics import execute
 
 
 @dataclass

@@ -13,7 +13,7 @@ that happens in :mod:`repro.core.slack_lut`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.isa.opcodes import (
     ARITH_OPS,

@@ -93,7 +93,7 @@ class TestReport:
         lines = text.splitlines()
         assert lines[0] == "T"
         assert "a" in lines[2] and "bb" in lines[2]
-        assert len({len(l) for l in lines[3:]}) <= 2  # aligned columns
+        assert len({len(line) for line in lines[3:]}) <= 2  # aligned
 
     def test_percent(self):
         assert percent(0.123) == "12.3%"

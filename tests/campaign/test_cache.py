@@ -1,0 +1,130 @@
+"""Cache keys: stability, invalidation, result round-trips."""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.campaign.cache import (
+    ResultCache,
+    cached_simulate,
+    config_fingerprint,
+    payload_to_result,
+    result_key,
+    result_to_payload,
+    trace_fingerprint,
+    trace_index_key,
+)
+from repro.core import CORES, RecycleMode, simulate
+from repro.pipeline.trace import generate_trace
+from repro.workloads.suites import SUITES
+
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    return generate_trace(SUITES["ml"]["pool0"](scale=3))
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CORES["small"].with_mode(RecycleMode.REDSOC)
+
+
+class TestKeyStability:
+    def test_same_inputs_same_key(self, tiny_trace, config):
+        assert result_key(tiny_trace, config) == \
+            result_key(tiny_trace, config)
+
+    def test_regenerated_trace_same_key(self, tiny_trace, config):
+        other = generate_trace(SUITES["ml"]["pool0"](scale=3))
+        assert result_key(other, config) == \
+            result_key(tiny_trace, config)
+
+    def test_fingerprint_memoised_on_trace(self, tiny_trace):
+        assert trace_fingerprint(tiny_trace) is \
+            trace_fingerprint(tiny_trace)
+
+
+class TestKeyInvalidation:
+    def test_mode_changes_key(self, tiny_trace, config):
+        other = config.with_mode(RecycleMode.BASELINE)
+        assert result_key(tiny_trace, other) != \
+            result_key(tiny_trace, config)
+
+    def test_ablation_knob_changes_key(self, tiny_trace, config):
+        other = config.variant(slack_threshold=3)
+        assert result_key(tiny_trace, other) != \
+            result_key(tiny_trace, config)
+
+    def test_core_changes_key(self, tiny_trace, config):
+        other = CORES["big"].with_mode(RecycleMode.REDSOC)
+        assert result_key(tiny_trace, other) != \
+            result_key(tiny_trace, config)
+
+    def test_workload_changes_key(self, tiny_trace, config):
+        other = generate_trace(SUITES["ml"]["pool0"](scale=4))
+        assert result_key(other, config) != \
+            result_key(tiny_trace, config)
+
+    def test_model_salt_changes_key(self, tiny_trace, config):
+        assert result_key(tiny_trace, config, salt="vNext") != \
+            result_key(tiny_trace, config)
+
+    def test_config_fingerprint_covers_nested_dataclasses(self, config):
+        slow_mem = config.variant(
+            memory=config.memory.__class__(l1_latency=9))
+        assert config_fingerprint(slow_mem) != config_fingerprint(config)
+
+    def test_trace_index_key_dimensions(self):
+        base = trace_index_key("ml", "pool0")
+        assert trace_index_key("ml", "pool0") == base
+        assert trace_index_key("ml", "pool1") != base
+        assert trace_index_key("ml", "pool0", scale=7) != base
+        assert trace_index_key("ml", "pool0", salt="vNext") != base
+
+
+class TestRoundTrip:
+    def test_payload_round_trip(self, tiny_trace, config):
+        result = simulate(tiny_trace, config)
+        restored = payload_to_result(result_to_payload(result), config)
+        assert restored.name == result.name
+        assert restored.cycles == result.cycles
+        assert asdict(restored.stats) == asdict(result.stats)
+
+    def test_cached_simulate_hits_second_time(self, tiny_trace, config,
+                                              tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = cached_simulate(tiny_trace, config, cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert len(cache) == 1
+        second = cached_simulate(tiny_trace, config, cache)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert asdict(second.stats) == asdict(first.stats)
+
+    def test_force_reruns_but_rewrites(self, tiny_trace, config,
+                                       tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cached_simulate(tiny_trace, config, cache)
+        forced = cached_simulate(tiny_trace, config, cache, force=True)
+        assert cache.hits == 0 and cache.misses == 2
+        assert len(cache) == 1
+        assert forced.cycles > 0
+
+    def test_corrupt_entry_is_a_miss(self, tiny_trace, config,
+                                     tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cached_simulate(tiny_trace, config, cache)
+        key = result_key(tiny_trace, config)
+        cache.path(key).write_text("not json{")
+        result = cached_simulate(tiny_trace, config, cache)
+        assert result.cycles > 0
+        assert cache.misses == 2  # corrupt read counted as miss
+
+    def test_clear(self, tiny_trace, config, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cached_simulate(tiny_trace, config, cache)
+        cache.put_trace_fingerprint(trace_index_key("ml", "pool0"),
+                                    trace_fingerprint(tiny_trace))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.get_trace_fingerprint(
+            trace_index_key("ml", "pool0")) is None

@@ -1,0 +1,71 @@
+"""CLI smoke tests via subprocess: run, report, clean."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+
+SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
+
+
+def _campaign(args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.campaign"] + args,
+        cwd=str(cwd), env=env, capture_output=True, text=True,
+        timeout=300)
+
+
+RUN_ARGS = ["run", "--suites", "ml", "--benchmarks", "pool0",
+            "--cores", "small", "--modes", "baseline", "redsoc",
+            "--scale", "3"]
+
+
+def test_run_report_clean_cycle(tmp_path):
+    proc = _campaign(RUN_ARGS + ["--jobs", "2"], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert "Campaign results" in proc.stdout
+
+    out = tmp_path / "BENCH_campaign.json"
+    assert out.is_file()
+    payload = json.loads(out.read_text())
+    assert payload["jobs"] == 2
+    assert payload["cache"]["misses"] == 2
+    modes = {r["mode"]: r for r in payload["results"]}
+    assert set(modes) == {"baseline", "redsoc"}
+    assert modes["redsoc"]["speedup"] is not None
+    assert (tmp_path / ".redsoc-cache").is_dir()
+
+    # second invocation: pure cache hits
+    proc = _campaign(RUN_ARGS + ["--jobs", "1"], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    rerun = json.loads(out.read_text())
+    assert rerun["cache"] == {"hits": 2, "misses": 0, "hit_rate": 1.0}
+    assert [r["cycles"] for r in rerun["results"]] == \
+        [r["cycles"] for r in payload["results"]]
+
+    proc = _campaign(["report"], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert "Campaign results" in proc.stdout
+    assert "100.0%" in proc.stdout  # hit rate of the rerun
+
+    proc = _campaign(["clean"], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert "removed 2" in proc.stdout
+    assert not list((tmp_path / ".redsoc-cache").glob("*.json"))
+
+
+def test_run_rejects_unknown_selection(tmp_path):
+    proc = _campaign(["run", "--suites", "nope"], tmp_path)
+    assert proc.returncode == 2
+    assert "unknown suite" in proc.stderr
+
+
+def test_report_without_campaign_json(tmp_path):
+    proc = _campaign(["report"], tmp_path)
+    assert proc.returncode == 2
+    assert "no campaign JSON" in proc.stderr

@@ -1,6 +1,5 @@
 """Unit tests for the wakeup/eager-issue machinery in core.scheduler."""
 
-import pytest
 
 from repro.core.config import RecycleMode
 from repro.core.scheduler import (

@@ -62,7 +62,6 @@ def test_auditor_catches_planted_violation(traces):
     """Sanity: the auditor is not vacuously green."""
     audit = audit_run(traces["bitcnt"], CORES["medium"])
     assert audit.ok
-    victim = audit_run(traces["bitcnt"], CORES["medium"])
     # forge a timing record that breaks the dataflow rule
     from repro.core.audit import _RecordingSimulator
     sim = _RecordingSimulator(traces["bitcnt"], CORES["medium"])

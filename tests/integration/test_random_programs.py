@@ -16,7 +16,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import MEDIUM, RecycleMode, simulate
-from repro.isa import Asm, Cond, Opcode, ShiftOp, SimdType, r, v
+from repro.isa import Asm, Cond, ShiftOp, SimdType, r, v
 from repro.pipeline.trace import generate_trace
 
 REGS = [r(i) for i in range(1, 8)]

@@ -9,18 +9,16 @@ These pin down the core behavioural contracts of the reproduction:
 * structural limits (ROB/RS/FU) and penalties behave sanely.
 """
 
-import pytest
 
 from repro.core import (
     BIG,
-    CoreConfig,
     MEDIUM,
     RecycleMode,
     SMALL,
     SchedulerDesign,
     simulate,
 )
-from repro.isa import Asm, Cond, ShiftOp, SimdType, r, v
+from repro.isa import Asm, Cond, SimdType, r, v
 from repro.pipeline.trace import generate_trace
 
 

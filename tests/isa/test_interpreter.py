@@ -1,6 +1,5 @@
 """Unit tests for the reference interpreter (the golden model)."""
 
-import pytest
 
 from repro.isa import Asm, Cond, Interpreter, r, run_program
 from repro.pipeline.trace import generate_trace

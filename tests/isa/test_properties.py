@@ -5,12 +5,10 @@ from hypothesis import strategies as st
 
 from repro.isa import (
     FLAGS,
-    Flags,
     Instruction,
     Memory,
     Opcode,
     RegisterFile,
-    ShiftOp,
     SimdType,
     execute,
     r,

@@ -1,6 +1,5 @@
 """Unit tests for the structural delay models."""
 
-import math
 
 import pytest
 
@@ -13,7 +12,6 @@ from repro.timing import (
     fig1_table,
     fig2_series,
     ks_adder_delay_ps,
-    logic_unit_delay_ps,
     scalar_op_delay_ps,
     shifter_stages,
     simd_op_delay_ps,

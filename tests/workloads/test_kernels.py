@@ -12,9 +12,7 @@ import pytest
 
 from repro.isa import r, run_program
 from repro.workloads import (
-    MIBENCH,
     ML_KERNELS,
-    SPECLIKE,
     bitcount,
     corners,
     crc32,
@@ -119,7 +117,6 @@ class TestMLKernels:
     def test_conv_preserves_constant_regions(self):
         """Gaussian blur of any image keeps values within input range."""
         result = run_program(ML_KERNELS["conv"](3))
-        row_bytes = 64 * 2
         out = [result.mem.read(0x20000 + 2 * i, 2) for i in range(32)]
         assert all(o <= 255 for o in out)           # /16 normalisation
 
