@@ -49,8 +49,15 @@ def _reference_payload(campaign):
     return {"schema": 1, "jobs": jobs}
 
 
-def compare(campaign, reference, tolerance):
-    """Return a list of human-readable drift failures."""
+def compare(campaign, reference, tolerance, exact_cycles=False):
+    """Return a list of human-readable drift failures.
+
+    With *exact_cycles*, cycle counts must match the reference bit for
+    bit — zero tolerance.  CI runs this on a tracing-disabled campaign
+    to prove the observability layer is truly compiled out: any
+    instrumentation that perturbs timing shows up as a cycle diff even
+    when IPC drift rounds to within tolerance.
+    """
     failures = []
     seen = set()
     ref_jobs = reference["jobs"]
@@ -62,6 +69,10 @@ def compare(campaign, reference, tolerance):
             failures.append(f"{name}: no reference entry "
                             f"(update smoke_reference.json)")
             continue
+        if exact_cycles and rec["cycles"] != ref["cycles"]:
+            failures.append(
+                f"{name}: cycles not bit-identical "
+                f"(ref {ref['cycles']}, got {rec['cycles']})")
         drift = abs(rec["ipc"] / ref["ipc"] - 1.0)
         if drift > tolerance:
             failures.append(
@@ -99,6 +110,10 @@ def main(argv=None):
     parser.add_argument("--update", action="store_true",
                         help="rewrite the reference from this campaign "
                              "instead of checking")
+    parser.add_argument("--exact-cycles", action="store_true",
+                        help="additionally require cycle counts to "
+                             "match the reference exactly (the "
+                             "tracing-off bit-identity gate)")
     args = parser.parse_args(argv)
 
     with open(args.campaign, "r", encoding="utf-8") as fh:
@@ -120,7 +135,8 @@ def main(argv=None):
     with open(args.reference, "r", encoding="utf-8") as fh:
         reference = json.load(fh)
 
-    failures = compare(campaign, reference, args.tolerance)
+    failures = compare(campaign, reference, args.tolerance,
+                       exact_cycles=args.exact_cycles)
     if failures:
         print(f"PERF REGRESSION ({len(failures)} failure(s), "
               f"tolerance {args.tolerance:.0%}):")
@@ -128,8 +144,9 @@ def main(argv=None):
             print(f"  - {failure}")
         return 1
     jobs = len(campaign["results"])
+    extra = ", cycles bit-identical" if args.exact_cycles else ""
     print(f"perf gate OK: {jobs} jobs within {args.tolerance:.0%} "
-          f"of reference")
+          f"of reference{extra}")
     return 0
 
 

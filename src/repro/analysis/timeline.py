@@ -35,16 +35,24 @@ def render_windows(windows: Sequence[Window], *,
                    base: TickBase = DEFAULT_TICK_BASE,
                    from_cycle: Optional[int] = None,
                    to_cycle: Optional[int] = None) -> str:
-    """Render *windows* as an aligned tick diagram."""
-    if not windows:
+    """Render *windows* as an aligned tick diagram.
+
+    An explicit ``from_cycle``/``to_cycle`` range always renders the
+    ruler for that range, even when it excludes every window (or there
+    are none): zoomed views compose cleanly instead of collapsing to a
+    sentinel string.  Only a call with no windows *and* no range falls
+    back to ``"(no windows)"``.
+    """
+    if not windows and from_cycle is None and to_cycle is None:
         return "(no windows)"
     tpc = base.ticks_per_cycle
     lo = (from_cycle if from_cycle is not None
-          else min(w.start_tick for w in windows) // tpc)
+          else min((w.start_tick for w in windows), default=0) // tpc)
     hi = (to_cycle if to_cycle is not None
-          else (max(w.end_tick for w in windows) + tpc - 1) // tpc)
-    span = range(lo, hi)
-    label_width = max(len(w.label) for w in windows) + 2
+          else (max((w.end_tick for w in windows), default=0)
+                + tpc - 1) // tpc)
+    span = range(lo, max(lo, hi))
+    label_width = max((len(w.label) for w in windows), default=0) + 2
 
     def ruler() -> str:
         cells = []

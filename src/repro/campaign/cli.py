@@ -1,4 +1,4 @@
-"""``python -m repro.campaign`` — run, report, clean.
+"""``python -m repro.campaign`` — run, report, clean, trace, profile.
 
 Examples::
 
@@ -17,28 +17,70 @@ Examples::
 
     # drop every cached result
     python -m repro.campaign clean
+
+    # trace one job: Perfetto JSON + events JSONL + metrics JSONL
+    python -m repro.campaign trace ml/pool0@small:redsoc --scale 4
+
+    # profile one job and print the hottest functions
+    python -m repro.campaign profile mibench/bitcnt@small:baseline
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import os
+import pstats
+import re
 import sys
 from pathlib import Path
 from typing import List, Optional
+
+from repro.core.cpu import CoreSimulator, simulate
+from repro.obs import Recorder, write_chrome_trace, write_events_jsonl, \
+    write_metrics_jsonl
 
 from .cache import ResultCache, default_cache_dir
 from .jobs import (
     CORE_ORDER,
     MODE_ORDER,
     SUITE_ORDER,
+    CampaignJob,
     enumerate_jobs,
+    job_config,
+    job_trace,
     smoke_jobs,
 )
 from .report import load_campaign_json, render_summary, write_campaign_json
-from .runner import run_campaign
+from .runner import job_slug, run_campaign
 
 DEFAULT_OUTPUT = "BENCH_campaign.json"
+
+_JOBSPEC = re.compile(
+    r"^(?P<suite>[\w-]+)/(?P<bench>[\w-]+)"
+    r"@(?P<core>[\w-]+):(?P<mode>[\w-]+)$")
+
+
+def parse_jobspec(spec: str,
+                  scale: Optional[int] = None) -> CampaignJob:
+    """Parse ``suite/bench@core:mode`` (a JobRecord label) into a job.
+
+    The one-job grid expansion reuses :func:`enumerate_jobs`, so
+    unknown names fail with the same loud error messages as ``run``.
+    """
+    match = _JOBSPEC.match(spec)
+    if match is None:
+        raise ValueError(
+            f"bad job spec {spec!r}; expected suite/bench@core:mode "
+            f"(e.g. ml/pool0@small:redsoc)")
+    jobs = enumerate_jobs(suites=[match["suite"]],
+                          benchmarks=[match["bench"]],
+                          cores=[match["core"]],
+                          modes=[match["mode"]], scale=scale)
+    if not jobs:
+        raise ValueError(f"job spec {spec!r} matches no benchmark in "
+                         f"suite {match['suite']!r}")
+    return jobs[0]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -76,6 +118,31 @@ def _build_parser() -> argparse.ArgumentParser:
                      help=f"result JSON path (default: {DEFAULT_OUTPUT})")
     run.add_argument("--quiet", "-q", action="store_true",
                      help="suppress per-job progress and summary")
+    run.add_argument("--profile-dir", type=Path, default=None,
+                     metavar="DIR",
+                     help="cProfile every simulated (non-cached) job "
+                          "and dump one .pstats file per job here")
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace one job: Perfetto trace + events/metrics JSONL")
+    trace.add_argument("job", metavar="SUITE/BENCH@CORE:MODE",
+                       help="job spec, e.g. ml/pool0@small:redsoc")
+    trace.add_argument("--scale", type=int, default=None,
+                       help="workload scale override")
+    trace.add_argument("--out-dir", type=Path, default=Path("traces"),
+                       help="output directory (default: ./traces)")
+
+    profile = sub.add_parser(
+        "profile", help="cProfile one job and print hot functions")
+    profile.add_argument("job", metavar="SUITE/BENCH@CORE:MODE",
+                         help="job spec, e.g. mibench/bitcnt@small:mos")
+    profile.add_argument("--scale", type=int, default=None,
+                         help="workload scale override")
+    profile.add_argument("--top", type=int, default=15, metavar="N",
+                         help="functions to print (default: 15)")
+    profile.add_argument("--output", "-o", type=Path, default=None,
+                         help="also dump raw .pstats here")
 
     report = sub.add_parser("report",
                             help="summarise an existing campaign JSON")
@@ -111,12 +178,61 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     result = run_campaign(jobs, workers=max(1, args.jobs),
                           cache_dir=args.cache_dir, force=args.force,
-                          progress=progress)
+                          progress=progress,
+                          profile_dir=args.profile_dir)
     path = write_campaign_json(result, args.output)
     if not args.quiet:
         print()
         print(render_summary(result.to_payload()))
         print(f"\nwrote {path}")
+        if args.profile_dir is not None:
+            print(f"profiles in {args.profile_dir}/")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    job = parse_jobspec(args.job, scale=args.scale)
+    recorder = Recorder()
+    sim = CoreSimulator(job_trace(job), job_config(job), obs=recorder)
+    result = sim.run()
+
+    out_dir: Path = args.out_dir
+    slug = job_slug(job.label)
+    trace_path = write_chrome_trace(recorder.events,
+                                    out_dir / f"{slug}.trace.json")
+    events_path = write_events_jsonl(recorder.events,
+                                     out_dir / f"{slug}.events.jsonl")
+    metrics_path = write_metrics_jsonl(sim.metrics,
+                                       out_dir / f"{slug}.metrics.jsonl")
+
+    print(f"{job.label}: {result.cycles} cycles, "
+          f"ipc={result.ipc:.3f}, {len(recorder)} events")
+    print(f"  perfetto trace  {trace_path}")
+    print(f"  events jsonl    {events_path}")
+    print(f"  metrics jsonl   {metrics_path}")
+    print("open the trace at https://ui.perfetto.dev or "
+          "chrome://tracing")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    job = parse_jobspec(args.job, scale=args.scale)
+    trace = job_trace(job)
+    config = job_config(job)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = simulate(trace, config)
+    profiler.disable()
+
+    print(f"{job.label}: {result.cycles} cycles, "
+          f"ipc={result.ipc:.3f}")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        stats.dump_stats(args.output)
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -140,7 +256,8 @@ def _cmd_clean(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {"run": _cmd_run, "report": _cmd_report,
-               "clean": _cmd_clean}[args.command]
+               "clean": _cmd_clean, "trace": _cmd_trace,
+               "profile": _cmd_profile}[args.command]
     try:
         return handler(args)
     except ValueError as exc:        # bad suite/bench/core/mode names

@@ -10,10 +10,19 @@ keys always carry identical content, so racing workers are harmless.
 regardless of worker scheduling, and joins every non-baseline record
 with its ``(suite, bench, core)`` baseline to compute the paper's
 speedup metric.
+
+Every job also carries telemetry: which worker process ran it, and a
+span breakdown (``cache_probe`` / ``trace_gen`` / ``simulate``) of
+where its wall time went — written into ``BENCH_campaign.json`` so a
+slow campaign can be diagnosed from the artefact alone.  Passing
+``profile_dir`` additionally wraps each simulated job in
+:mod:`cProfile` and drops one ``.pstats`` file per job.
 """
 
 from __future__ import annotations
 
+import cProfile
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
@@ -51,10 +60,17 @@ class JobRecord:
     cache_hit: bool
     wall_time_s: float
     speedup: Optional[float] = None
+    worker: str = ""
+    spans: Dict[str, float] = field(default_factory=dict)
 
     @property
     def label(self) -> str:
         return f"{self.suite}/{self.bench}@{self.core}:{self.mode}"
+
+
+def job_slug(label: str) -> str:
+    """Filesystem-safe name for a job label (profiles, traces)."""
+    return label.replace("/", "_").replace("@", "_").replace(":", "_")
 
 
 @dataclass
@@ -77,36 +93,56 @@ class CampaignResult:
     def hit_rate(self) -> float:
         return self.hits / len(self.records) if self.records else 0.0
 
+    def span_totals(self) -> Dict[str, float]:
+        """Aggregate per-span seconds across every record."""
+        totals: Dict[str, float] = {}
+        for rec in self.records:
+            for name, seconds in rec.spans.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        return {name: round(seconds, 4)
+                for name, seconds in sorted(totals.items())}
+
     def to_payload(self) -> Dict[str, Any]:
         """JSON document written to ``BENCH_campaign.json``."""
         return {
-            "schema": 1,
+            "schema": 2,
             "model_version": model_version(),
             "workers": self.workers,
             "jobs": len(self.records),
             "wall_time_s": round(self.wall_time_s, 3),
             "cache": {"hits": self.hits, "misses": self.misses,
                       "hit_rate": round(self.hit_rate, 4)},
+            "telemetry": {
+                "span_totals_s": self.span_totals(),
+                "workers_used": sorted({r.worker for r in self.records
+                                        if r.worker}),
+            },
             "results": [asdict(r) for r in self.records],
         }
 
 
-def _execute_job(job: CampaignJob, cache_dir: str,
-                 force: bool) -> JobRecord:
+def _execute_job(job: CampaignJob, cache_dir: str, force: bool,
+                 profile_dir: Optional[str] = None) -> JobRecord:
     """Run one job against the shared cache (worker entry point).
 
     Fast path: the trace-fingerprint index resolves the result key
     without regenerating the trace, so a fully-warm job is three small
     file reads.  Slow path: generate the trace, record its fingerprint
     in the index, probe again, and simulate only on a true miss.
+
+    Each stage is timed into the record's ``spans`` dict; with
+    *profile_dir* set, a cache miss additionally runs the simulation
+    under :mod:`cProfile` and dumps ``<label>.pstats`` there.
     """
     start = time.perf_counter()
+    spans: Dict[str, float] = {}
     cache = ResultCache(Path(cache_dir))
     config = job_config(job)
     tkey = trace_index_key(job.suite, job.bench, job.scale)
     result = None
     cache_hit = False
 
+    probe_start = time.perf_counter()
     if not force:
         fingerprint = cache.get_trace_fingerprint(tkey)
         if fingerprint is not None:
@@ -115,10 +151,13 @@ def _execute_job(job: CampaignJob, cache_dir: str,
             if payload is not None:
                 result = payload_to_result(payload, config)
                 cache_hit = True
+    spans["cache_probe"] = time.perf_counter() - probe_start
 
     if result is None:
+        gen_start = time.perf_counter()
         trace = job_trace(job)
         fingerprint = trace_fingerprint(trace)
+        spans["trace_gen"] = time.perf_counter() - gen_start
         cache.put_trace_fingerprint(tkey, fingerprint)
         key = result_key_from_fingerprint(fingerprint, config)
         payload = None if force else cache.get(key)
@@ -126,7 +165,19 @@ def _execute_job(job: CampaignJob, cache_dir: str,
             result = payload_to_result(payload, config)
             cache_hit = True
         else:
-            result = simulate(trace, config)
+            sim_start = time.perf_counter()
+            if profile_dir is not None:
+                profiler = cProfile.Profile()
+                profiler.enable()
+                result = simulate(trace, config)
+                profiler.disable()
+                out_dir = Path(profile_dir)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                profiler.dump_stats(
+                    out_dir / f"{job_slug(job.label)}.pstats")
+            else:
+                result = simulate(trace, config)
+            spans["simulate"] = time.perf_counter() - sim_start
             cache.put(key, result_to_payload(result))
 
     return JobRecord(
@@ -134,7 +185,10 @@ def _execute_job(job: CampaignJob, cache_dir: str,
         key=key,
         cycles=result.cycles, committed=result.stats.committed,
         ipc=result.ipc, cache_hit=cache_hit,
-        wall_time_s=time.perf_counter() - start)
+        wall_time_s=time.perf_counter() - start,
+        worker=f"pid-{os.getpid()}",
+        spans={name: round(seconds, 6)
+               for name, seconds in spans.items()})
 
 
 def _attach_speedups(records: Sequence[JobRecord]) -> None:
@@ -153,30 +207,34 @@ def run_campaign(jobs: Sequence[CampaignJob], *,
                  workers: int = 1,
                  cache_dir: Optional[Path] = None,
                  force: bool = False,
-                 progress=None) -> CampaignResult:
+                 progress=None,
+                 profile_dir: Optional[Path] = None) -> CampaignResult:
     """Execute *jobs*, sharded over *workers* processes.
 
     ``workers <= 1`` runs everything in-process (useful under pytest
     and for debugging); results are identical either way because the
     timing model is deterministic.  *progress* is an optional callable
-    receiving each finished :class:`JobRecord`.
+    receiving each finished :class:`JobRecord`.  *profile_dir* turns
+    on the per-job cProfile hook for cache misses.
     """
     cache_root = Path(cache_dir) if cache_dir is not None \
         else ResultCache().root
+    profile_arg = str(profile_dir) if profile_dir is not None else None
     start = time.perf_counter()
     records: List[JobRecord] = []
 
     if workers <= 1 or len(jobs) <= 1:
         workers = 1
         for job in jobs:
-            record = _execute_job(job, str(cache_root), force)
+            record = _execute_job(job, str(cache_root), force,
+                                  profile_arg)
             records.append(record)
             if progress is not None:
                 progress(record)
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_execute_job, job, str(cache_root),
-                                   force)
+                                   force, profile_arg)
                        for job in jobs]
             # collect in submission order so reports stay stable
             for future in futures:

@@ -22,18 +22,29 @@ returns the violations (an empty list is the pass condition).  The
 integration tests sweep it across workloads, modes and cores — any
 scheduler regression that breaks a timing rule surfaces here even when
 cycle counts still look plausible.
+
+The same checks can be **replayed from a recorded event stream**:
+:func:`audit_from_events` consumes the EXEC_WINDOW / COMMIT / META
+events a traced run published (e.g. loaded back from a JSONL dump via
+:func:`repro.obs.export.read_events_jsonl`) and re-derives every rule
+without running a second simulation — the event payloads carry the
+complete per-uop timing.  ``audit_run`` additionally publishes each
+violation as a VIOLATION event when a sink is attached, so audit
+outcomes travel on the same bus as the pipeline trace.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.config import CoreConfig, RecycleMode
 from repro.core.cpu import CoreSimulator, SimResult
 from repro.core.scheduler import consumer_avail_tick
+from repro.core.ticks import TickBase
 from repro.isa.opcodes import OpClass
+from repro.obs.events import Event, EventKind
 from repro.pipeline.trace import Trace
 from repro.pipeline.uop import Uop
 
@@ -62,8 +73,9 @@ class AuditResult:
 class _RecordingSimulator(CoreSimulator):
     """CoreSimulator that keeps every issued uop for post-run checks."""
 
-    def __init__(self, trace: Trace, config: CoreConfig) -> None:
-        super().__init__(trace, config)
+    def __init__(self, trace: Trace, config: CoreConfig, *,
+                 obs=None) -> None:
+        super().__init__(trace, config, obs=obs)
         self.issued_log: List[Uop] = []
 
     def _finalize_issue(self, uop, cycle, timing, *, eager=False):
@@ -71,9 +83,15 @@ class _RecordingSimulator(CoreSimulator):
         self.issued_log.append(uop)
 
 
-def audit_run(trace: Trace, config: CoreConfig) -> AuditResult:
-    """Simulate *trace* under *config* and audit every invariant."""
-    sim = _RecordingSimulator(trace, config)
+def audit_run(trace: Trace, config: CoreConfig, *,
+              obs=None) -> AuditResult:
+    """Simulate *trace* under *config* and audit every invariant.
+
+    With an event sink attached, the run is traced as usual and every
+    audit violation is additionally published as a VIOLATION event, so
+    a recorded stream carries both the timeline and its verdict.
+    """
+    sim = _RecordingSimulator(trace, config, obs=obs)
     result = sim.run()
     base = sim.base
     violations: List[AuditViolation] = []
@@ -156,5 +174,128 @@ def audit_run(trace: Trace, config: CoreConfig) -> AuditResult:
             f"committed {result.stats.committed} of "
             f"{len(trace.entries)}"))
 
+    if obs is not None:
+        for violation in violations:
+            obs.emit(Event(EventKind.VIOLATION, -1, violation.seq, {
+                "rule": violation.rule, "detail": violation.detail,
+            }))
+
     return AuditResult(result=result, violations=violations,
                        audited_uops=len(sim.issued_log))
+
+
+@dataclass
+class ReplayAuditResult:
+    """Outcome of auditing a recorded event stream (no simulation)."""
+
+    violations: List[AuditViolation] = field(default_factory=list)
+    audited_uops: int = 0
+    committed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def audit_from_events(events: Iterable[Event]) -> ReplayAuditResult:
+    """Re-derive the full timing audit from a recorded event stream.
+
+    Consumes the stream a traced run published (META + EXEC_WINDOW +
+    COMMIT carry everything the live auditor reads off its uop log) and
+    checks the same six invariants, rule for rule.  The integration
+    tests assert this agrees exactly with :func:`audit_run` on live
+    simulations, which is what makes a JSONL dump a *sufficient*
+    artefact for post-hoc debugging: no re-simulation needed.
+    """
+    violations: List[AuditViolation] = []
+    meta: Optional[Dict] = None
+    occupancy: Dict[str, Dict[int, int]] = defaultdict(
+        lambda: defaultdict(int))
+    audited = 0
+    committed = 0
+
+    def flag(rule: str, seq: int, detail: str) -> None:
+        violations.append(AuditViolation(rule, seq, detail))
+
+    exec_events: List[Event] = []
+    for event in events:
+        if event.kind is EventKind.META:
+            meta = event.data
+        elif event.kind is EventKind.EXEC_WINDOW:
+            exec_events.append(event)
+        elif event.kind is EventKind.COMMIT:
+            committed += 1
+
+    if meta is None:
+        raise ValueError("event stream has no META event "
+                         "(not a recorded simulation trace?)")
+    base = TickBase(ticks_per_cycle=meta["ticks_per_cycle"])
+    mode = RecycleMode(meta["mode"])
+
+    for event in exec_events:
+        audited += 1
+        d = event.data
+        seq = event.seq
+        is_mem = d["mem"]
+
+        # 1. arrival
+        arrival_edge = base.cycle_start(d["issue"] + d["lat"])
+        if d["start"] < arrival_edge:
+            flag("arrival", seq,
+                 f"start {d['start']} before arrival edge "
+                 f"{arrival_edge}")
+
+        # 2. dataflow
+        if not is_mem:
+            for src_seq, avail in d["srcs"]:
+                if avail is None:
+                    flag("dataflow", seq,
+                         f"source #{src_seq} never issued")
+                elif d["start"] < avail:
+                    flag("dataflow", seq,
+                         f"start {d['start']} before source "
+                         f"#{src_seq} avail {avail}")
+
+        # 3. window
+        if not is_mem and d["end"] not in (d["start"] + d["ex"],
+                                           d["start"] + d["ex_actual"]):
+            flag("window", seq,
+                 f"end {d['end']} inconsistent with start "
+                 f"{d['start']} + ex {d['ex']}")
+
+        # 4. discipline
+        mid_cycle = d["start"] % base.ticks_per_cycle != 0
+        if mid_cycle and not d["transparent"]:
+            flag("discipline", seq,
+                 "non-transparent op started mid-cycle")
+        if mid_cycle and mode is RecycleMode.BASELINE:
+            flag("discipline", seq, "baseline op started mid-cycle")
+        if mid_cycle and mode is RecycleMode.MOS and d["hold"]:
+            flag("discipline", seq, "MOS op crossed a clock edge")
+
+        # 5. capacity bookkeeping
+        start_cycle = base.cycle_of(d["start"])
+        occupancy[d["fu"]][start_cycle] += 1
+        if d["hold"]:
+            occupancy[d["fu"]][start_cycle + 1] += 1
+
+    pools = meta.get("pools", {})
+    for fu, cycles in occupancy.items():
+        limit = pools.get(fu)
+        if limit is None:
+            continue
+        for cycle, used in cycles.items():
+            if used > limit:
+                violations.append(AuditViolation(
+                    "capacity", -1,
+                    f"{fu} used {used}/{limit} units in cycle "
+                    f"{cycle}"))
+
+    # 6. completeness
+    total = meta["instructions"]
+    if committed != total:
+        violations.append(AuditViolation(
+            "completeness", -1, f"committed {committed} of {total}"))
+
+    return ReplayAuditResult(violations=violations, audited_uops=audited,
+                             committed=committed)

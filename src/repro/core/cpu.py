@@ -30,6 +30,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.analysis.stats import HIGH_SLACK_FRACTION, SimStats
+from repro.obs.events import Event, EventKind
+from repro.obs.metrics import MetricsRegistry
 from repro.isa.opcodes import (
     ARITH_OPS,
     Cond,
@@ -51,6 +53,7 @@ from .last_arrival import LastArrivalPredictor
 from .scheduler import (
     ReadyQueues,
     constraining_parent,
+    consumer_avail_tick,
     eager_issue_allowed,
     last_source_avail,
     other_sources_ready,
@@ -83,9 +86,15 @@ class SimResult:
 class CoreSimulator:
     """One core simulating one trace (single-use object)."""
 
-    def __init__(self, trace: Trace, config: CoreConfig) -> None:
+    def __init__(self, trace: Trace, config: CoreConfig, *,
+                 obs=None) -> None:
         self.trace = trace
         self.config = config
+        #: event sink (None = tracing off; every emission site below is
+        #: guarded by a single `is None` check so the untraced hot loop
+        #: does the same work as an uninstrumented simulator)
+        self.obs = obs
+        self.metrics = MetricsRegistry()
         self.base = TickBase(config.ticks_per_cycle, config.tech)
         self.lut = SlackLUT(self.base, pvt_scale=config.pvt_scale)
         self.width_pred = WidthPredictor()
@@ -124,6 +133,22 @@ class CoreSimulator:
         self._window_start_committed = 0
         self._exploit_left = 0
 
+        if obs is not None:
+            # propagate the sink into the sub-models that publish their
+            # own events (wakeup array, cache hierarchy)
+            self.ready.obs = obs
+            self.mem.obs = obs
+            obs.emit(Event(EventKind.META, -1, -1, {
+                "trace": trace.name,
+                "instructions": len(trace.entries),
+                "core": config.name,
+                "mode": config.mode.value,
+                "scheduler": config.scheduler.value,
+                "ticks_per_cycle": config.ticks_per_cycle,
+                "pools": {cls.value: pool.count
+                          for cls, pool in self.res.pools.items()},
+            }))
+
     # ------------------------------------------------------------------
     # top level
     # ------------------------------------------------------------------
@@ -143,6 +168,8 @@ class CoreSimulator:
 
     def _step(self) -> None:
         cycle = self.cycle
+        if self.obs is not None:
+            self.mem.now = cycle
         self.ready.advance_to(cycle)
         self._commit(cycle)
         self._schedule(cycle)
@@ -191,17 +218,32 @@ class CoreSimulator:
             self._threshold = self._probe_plan.pop(0)
 
     def _finalize(self) -> None:
-        stats = self.stats
-        stats.width_aggressive_rate = self.width_pred.stats.aggressive_rate
-        stats.width_accuracy = self.width_pred.stats.accuracy
-        stats.la_misprediction_rate = self.la_pred.stats.misprediction_rate
-        stats.la_predictions = self.la_pred.stats.predictions
-        stats.la_mispredictions = self.la_pred.stats.mispredictions
-        stats.seq_expected_length = self.sequences.expected_length()
-        stats.seq_mean_length = self.sequences.mean_length()
-        stats.num_sequences = self.sequences.num_sequences
-        stats.branches = self.branch_pred.stats.predictions
-        stats.branch_mispredicts = self.branch_pred.stats.mispredictions
+        """Publish end-of-run results through the metrics registry.
+
+        The registry is the single source of truth: gauges below flow
+        into :class:`SimStats` via its declared mapping, the hot-loop
+        counters flow back out, and exporters snapshot the registry.
+        """
+        m = self.metrics
+        wstats = self.width_pred.stats
+        m.gauge("predict.width.aggressive_rate").set(
+            wstats.aggressive_rate)
+        m.gauge("predict.width.accuracy").set(wstats.accuracy)
+        lstats = self.la_pred.stats
+        m.gauge("predict.la.misprediction_rate").set(
+            lstats.misprediction_rate)
+        m.gauge("predict.la.predictions").set(lstats.predictions)
+        m.gauge("predict.la.mispredictions").set(lstats.mispredictions)
+        m.gauge("seq.expected_length").set(
+            self.sequences.expected_length())
+        m.gauge("seq.mean_length").set(self.sequences.mean_length())
+        m.gauge("seq.count").set(self.sequences.num_sequences)
+        bstats = self.branch_pred.stats
+        m.gauge("front.branches").set(bstats.predictions)
+        m.gauge("front.branch_mispredicts").set(bstats.mispredictions)
+        self.stats.populate_from(m)
+        self.stats.export_counters(m)
+        m.gauge("core.ipc").set(self.stats.ipc)
 
     # ------------------------------------------------------------------
     # commit
@@ -230,6 +272,12 @@ class CoreSimulator:
             self._committed += 1
             self.stats.committed += 1
             committed += 1
+            if self.obs is not None:
+                self.obs.emit(Event(EventKind.COMMIT, cycle, uop.seq, {
+                    "op": entry.instr.op.name,
+                    "issue": uop.issue_cycle,
+                    "done": uop.done_cycle,
+                }))
 
     def _classify(self, uop: Uop) -> None:
         cls = uop.entry.instr.cls
@@ -263,6 +311,10 @@ class CoreSimulator:
                 outcome = self._try_issue(uop, cycle)
                 if outcome == "issued":
                     issued_now.append(uop)
+                    if self.obs is not None:
+                        self.obs.emit(Event(
+                            EventKind.SELECT, cycle, uop.seq,
+                            {"phase": "P", "fu": op_class.value}))
                 elif outcome == "stall":
                     stalled = True
                     break
@@ -274,6 +326,10 @@ class CoreSimulator:
                 self._gp_phase_unskewed(cycle, issued_now)
         if stalled:
             self.stats.fu_stall_cycles += 1
+            if self.obs is not None:
+                self.obs.emit(Event(
+                    EventKind.FU_STALL, cycle, -1,
+                    {"tick": self.base.cycle_start(cycle)}))
 
     def _try_issue(self, uop: Uop, cycle: int, *,
                    eager: bool = False) -> str:
@@ -330,6 +386,13 @@ class CoreSimulator:
                 source_avail=source_avail,
                 ex_ticks=uop.actual_ex_ticks, transparent=False, base=base)
             self.stats.width_replays += 1
+            if self.obs is not None:
+                self.obs.emit(Event(
+                    EventKind.WIDTH_MISPREDICT, cycle, uop.seq, {
+                        "predicted": uop.predicted_width,
+                        "actual": uop.entry.op_width,
+                        "tick": timing.start_tick,
+                    }))
 
         occupy = base.cycle_of(timing.start_tick)
         if (timing.extra_cycle_hold
@@ -401,6 +464,8 @@ class CoreSimulator:
                     parent.chain_id if parent else None)
             else:
                 uop.chain_id = self.sequences.start_chain()
+        if self.obs is not None:
+            self._emit_issue(uop, cycle, timing, eager=eager)
         self._rs_used -= 1
         self.ready.remove(uop)
         if uop.seq == self._blocked_on_seq:
@@ -408,6 +473,64 @@ class CoreSimulator:
                                   + self.config.mispredict_penalty)
             self._blocked_on_seq = None
         self._notify_dependents(uop, cycle)
+
+    def _emit_issue(self, uop: Uop, cycle: int, timing, *,
+                    eager: bool) -> None:
+        """Publish the resolved execution window (traced runs only).
+
+        The EXEC_WINDOW payload is deliberately complete: it carries
+        everything :func:`repro.core.audit.audit_from_events` needs to
+        re-derive the full timing audit from a recorded stream, and
+        everything the Perfetto exporter renders per slice.
+        """
+        obs = self.obs
+        base = self.base
+        instr = uop.entry.instr
+        is_mem = instr.cls in (OpClass.LOAD, OpClass.STORE)
+        srcs = []
+        for src in uop.sources:
+            if src.issue_cycle is None:
+                srcs.append([src.seq, None])
+            else:
+                srcs.append([src.seq, consumer_avail_tick(src, uop)])
+        obs.emit(Event(EventKind.EXEC_WINDOW, cycle, uop.seq, {
+            "op": instr.op.name,
+            "fu": uop.fu_class.value,
+            "issue": cycle,
+            "lat": uop.latency_cycles,
+            "start": timing.start_tick,
+            "end": timing.end_tick,
+            "avail": timing.avail_tick,
+            "sync": timing.sync_avail_tick,
+            "ex": uop.ex_ticks,
+            "ex_actual": uop.actual_ex_ticks,
+            "transparent": uop.transparent,
+            "recycled": timing.recycled,
+            "hold": timing.extra_cycle_hold,
+            "eager": eager,
+            "mem": is_mem,
+            "srcs": srcs,
+        }))
+        if eager:
+            obs.emit(Event(EventKind.GP_GRANT, cycle, uop.seq,
+                           {"tick": timing.start_tick}))
+        if timing.extra_cycle_hold:
+            obs.emit(Event(EventKind.HOLD, cycle, uop.seq, {
+                "tick": timing.start_tick,
+                "fu": uop.fu_class.value,
+            }))
+        obs.emit(Event(EventKind.WRITEBACK, uop.done_cycle, uop.seq,
+                       {"tick": timing.sync_avail_tick}))
+        # tick-resolution latency/slack distributions (traced runs)
+        m = self.metrics
+        m.histogram("lat.issue_to_execute").observe(
+            timing.start_tick - base.cycle_start(cycle))
+        if not is_mem and uop.latency_cycles == 1:
+            m.histogram("slack.per_op").observe(
+                max(0, base.ticks_per_cycle - uop.actual_ex_ticks))
+        if timing.recycled:
+            m.histogram("recycle.start_offset").observe(
+                base.tick_in_cycle(timing.start_tick))
 
     def _issue_load(self, uop: Uop, cycle: int) -> str:
         base = self.base
@@ -465,6 +588,11 @@ class CoreSimulator:
         uop.replayed = True
         if uop.la_applied:
             self.stats.la_replays += 1
+        if self.obs is not None:
+            self.obs.emit(Event(EventKind.LA_REPLAY, cycle, uop.seq, {
+                "la_applied": uop.la_applied,
+                "waiting_on": sorted(u.seq for u in unissued),
+            }))
         uop.waiting_on = set(unissued)
         uop.eligible_cycle = cycle + 1
         self.ready.remove(uop)
@@ -473,6 +601,11 @@ class CoreSimulator:
         uop.replayed = True
         if uop.la_applied:
             self.stats.la_replays += 1
+        if self.obs is not None:
+            self.obs.emit(Event(EventKind.LA_REPLAY, cycle, uop.seq, {
+                "la_applied": uop.la_applied,
+                "late_operand": True,
+            }))
         base = self.base
         avail = last_source_avail(uop, base)
         self.ready.remove(uop)
@@ -539,7 +672,11 @@ class CoreSimulator:
             if (pool.free_at(cycle + 1) <= spare
                     or pool.free_at(cycle + 2) <= spare):
                 continue
-            self._try_issue(child, cycle, eager=True)
+            result = self._try_issue(child, cycle, eager=True)
+            if result == "issued" and self.obs is not None:
+                self.obs.emit(Event(
+                    EventKind.SELECT, cycle, child.seq,
+                    {"phase": "GP", "fu": child.fu_class.value}))
 
     def _gp_phase_unskewed(self, cycle: int,
                            issued_now: List[Uop]) -> None:
@@ -562,6 +699,10 @@ class CoreSimulator:
             pending = self.ready.pending(child.fu_class)
             older_pending = any(u.seq < child.seq for u in pending)
             result = self._try_issue(child, cycle, eager=True)
+            if result == "issued" and self.obs is not None:
+                self.obs.emit(Event(
+                    EventKind.SELECT, cycle, child.seq,
+                    {"phase": "GP", "fu": child.fu_class.value}))
             if result == "issued" and older_pending:
                 self.stats.gp_mispeculations += 1
                 self.stats.wasted_gp_grants += 1
@@ -592,6 +733,10 @@ class CoreSimulator:
             count += 1
         if stalled:
             self.stats.dispatch_stall_cycles += 1
+            if self.obs is not None:
+                self.obs.emit(Event(EventKind.DISPATCH_STALL, cycle, -1,
+                                    {"tick":
+                                     self.base.cycle_start(cycle)}))
 
     def _dispatch_one(self, seq: int, entry: TraceEntry,
                       cycle: int) -> None:
@@ -640,6 +785,14 @@ class CoreSimulator:
         for reg in instr.dests():
             self._rat[reg] = uop
 
+        if self.obs is not None:
+            self.obs.emit(Event(EventKind.DISPATCH, cycle, seq, {
+                "op": instr.op.name,
+                "fu": uop.fu_class.value,
+                "srcs": [s.seq for s in sources],
+                "order_dep": (order_dep.seq
+                              if order_dep is not None else None),
+            }))
         self._rob.append(uop)
         if instr.cls in (OpClass.NOP, OpClass.HALT):
             uop.state = UopState.ISSUED
@@ -743,11 +896,19 @@ class CoreSimulator:
             self._fetch_idx += 1
             fetched += 1
             instr = entry.instr
+            if self.obs is not None:
+                self.obs.emit(Event(EventKind.FETCH, cycle, idx, {
+                    "pc": entry.pc, "op": instr.op.name,
+                }))
             if instr.is_branch():
                 if instr.op is Opcode.B and instr.cond is not Cond.AL:
                     mispredicted = self.branch_pred.update(
                         entry.pc, entry.taken)
                     if mispredicted:
+                        if self.obs is not None:
+                            self.obs.emit(Event(
+                                EventKind.BRANCH_MISPREDICT, cycle, idx,
+                                {"pc": entry.pc, "taken": entry.taken}))
                         self._blocked_on_seq = idx
                         break
                 if entry.taken:
@@ -785,12 +946,16 @@ class _StoreTiming:
 
 
 def simulate(workload, config: CoreConfig, *,
-             max_instructions: int = 5_000_000) -> SimResult:
-    """Simulate *workload* (a Program or a pre-generated Trace)."""
+             max_instructions: int = 5_000_000, obs=None) -> SimResult:
+    """Simulate *workload* (a Program or a pre-generated Trace).
+
+    Pass an event sink (e.g. :class:`repro.obs.Recorder`) as *obs* to
+    trace the run; the default ``None`` keeps tracing compiled out.
+    """
     if isinstance(workload, Program):
         trace = generate_trace(workload, max_instructions=max_instructions)
     elif isinstance(workload, Trace):
         trace = workload
     else:
         raise TypeError(f"expected Program or Trace, got {type(workload)}")
-    return CoreSimulator(trace, config).run()
+    return CoreSimulator(trace, config, obs=obs).run()

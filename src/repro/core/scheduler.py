@@ -26,6 +26,7 @@ from collections import defaultdict
 from typing import Dict, List, Optional
 
 from repro.isa.opcodes import OpClass
+from repro.obs.events import Event, EventKind
 from repro.pipeline.uop import Uop, UopState
 
 from .config import RecycleMode
@@ -75,15 +76,21 @@ class ReadyQueues:
         self._wake_at: Dict[int, List[Uop]] = defaultdict(list)
         self._pending: Dict[OpClass, List[Uop]] = defaultdict(list)
         self._pending_seqs: Dict[OpClass, List[int]] = defaultdict(list)
+        #: event sink (attached by the simulator on traced runs)
+        self.obs = None
 
     def schedule_wake(self, uop: Uop, cycle: int) -> None:
         self._wake_at[cycle].append(uop)
 
     def advance_to(self, cycle: int) -> None:
         """Drain wakeups due at *cycle* into the pending lists."""
+        obs = self.obs
         for uop in self._wake_at.pop(cycle, ()):
             if uop.state is not UopState.DISPATCHED:
                 continue
+            if obs is not None:
+                obs.emit(Event(EventKind.WAKEUP, cycle, uop.seq,
+                               {"fu": uop.fu_class.value}))
             seqs = self._pending_seqs[uop.fu_class]
             pos = bisect.bisect_left(seqs, uop.seq)
             seqs.insert(pos, uop.seq)

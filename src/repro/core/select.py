@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from repro.obs.events import Event, EventKind
+
 
 @dataclass(frozen=True)
 class SelectRequest:
@@ -104,18 +106,27 @@ class AgeMaskTable:
 
 
 def select_requests(requests: Sequence[SelectRequest], slots: int, *,
-                    skewed: bool) -> List[SelectRequest]:
+                    skewed: bool, obs=None,
+                    cycle: int = -1) -> List[SelectRequest]:
     """Grant up to *slots* requests (the fast behavioural equivalent).
 
     Skewed order: all non-speculative requests age-ordered, then
     speculative ones age-ordered.  Plain order: pure age.  Matches the
-    bit-level circuit grant-for-grant (see tests).
+    bit-level circuit grant-for-grant (see tests).  With an event sink
+    attached, each grant is published as a SELECT event.
     """
     if skewed:
         ranked = sorted(requests, key=lambda q: (q.speculative, q.age))
     else:
         ranked = sorted(requests, key=lambda q: q.age)
-    return list(ranked[:slots])
+    granted = list(ranked[:slots])
+    if obs is not None:
+        for request in granted:
+            obs.emit(Event(EventKind.SELECT, cycle, -1, {
+                "entry": request.entry, "age": request.age,
+                "phase": "GP" if request.speculative else "P",
+            }))
+    return granted
 
 
 def multi_grant_bitlevel(table: AgeMaskTable, wakeup: int, p_array: int,

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.events import Event, EventKind
+
 from .cache import Cache, CacheStats
 from .prefetch import NextLinePrefetcher, StridePrefetcher
 
@@ -46,6 +48,18 @@ class MemoryHierarchy:
         self.loads = 0
         self.stores = 0
         self.l1_load_misses = 0
+        #: event sink + current cycle (attached by the simulator on
+        #: traced runs; untraced accesses skip one None check)
+        self.obs = None
+        self.now = -1
+
+    def _level_of(self, latency: int) -> str:
+        config = self.config
+        if latency <= config.l1_latency:
+            return "l1"
+        if latency <= config.l1_latency + config.l2_latency:
+            return "l2"
+        return "dram"
 
     def load_latency(self, addr: int, pc: int = 0) -> int:
         """Cycles for a load at *addr*; trains the prefetchers."""
@@ -56,12 +70,23 @@ class MemoryHierarchy:
         if self.config.prefetch:
             for pf_addr in self._stride.observe(pc, addr):
                 self._prefetch(pf_addr)
+        if self.obs is not None:
+            self.obs.emit(Event(EventKind.MEM_ACCESS, self.now, -1, {
+                "access": "load", "addr": addr, "pc": pc,
+                "level": self._level_of(latency), "latency": latency,
+            }))
         return latency
 
     def store_latency(self, addr: int, pc: int = 0) -> int:
         """Cycles to retire a store (charged at commit)."""
         self.stores += 1
-        return self._access(addr, is_write=True)
+        latency = self._access(addr, is_write=True)
+        if self.obs is not None:
+            self.obs.emit(Event(EventKind.MEM_ACCESS, self.now, -1, {
+                "access": "store", "addr": addr, "pc": pc,
+                "level": self._level_of(latency), "latency": latency,
+            }))
+        return latency
 
     def _access(self, addr: int, *, is_write: bool) -> int:
         hit_l1, wb = self.l1.access(addr, is_write=is_write)

@@ -1,0 +1,49 @@
+"""Pipeline observability: structured events, metrics, exporters.
+
+``repro.obs`` is the tracing/metrics substrate of the simulator:
+
+* :mod:`repro.obs.events` — a near-zero-overhead event bus with typed
+  pipeline events (fetch → dispatch → wakeup → select → issue →
+  execute-window → writeback → commit, plus GP-speculative grants,
+  mispredict replays, 2-cycle holds and stalls).  Tracing is *off* by
+  default: every emission site in the hot simulator loop is guarded by
+  a single ``is None`` check, so an untraced run is bit-identical (in
+  cycles *and* wall-clock shape) to an uninstrumented one.
+* :mod:`repro.obs.metrics` — a metrics registry (counters, gauges,
+  tick-resolution histograms) that :class:`~repro.analysis.stats.SimStats`
+  populates through at the end of a run.
+* :mod:`repro.obs.export` — JSONL event dumps, Chrome trace-event /
+  Perfetto JSON (one track per FU class, one tick-precise slice per
+  uop execution window), and metrics snapshots.
+
+Audit-trace *replay* (re-deriving :func:`repro.core.audit.audit_run`'s
+invariant checks from a recorded event stream) lives in
+:mod:`repro.core.audit` next to the live auditor.
+"""
+
+from .events import (
+    Event,
+    EventKind,
+    JsonlSink,
+    NULL_SINK,
+    NullSink,
+    Recorder,
+    TeeSink,
+)
+from .export import (
+    chrome_trace,
+    metrics_to_jsonl,
+    read_events_jsonl,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_jsonl,
+)
+from .metrics import Counter, Gauge, MetricsRegistry, TickHistogram
+
+__all__ = [
+    "Counter", "Event", "EventKind", "Gauge", "JsonlSink",
+    "MetricsRegistry", "NULL_SINK", "NullSink", "Recorder", "TeeSink",
+    "TickHistogram", "chrome_trace", "metrics_to_jsonl",
+    "read_events_jsonl", "write_chrome_trace", "write_events_jsonl",
+    "write_metrics_jsonl",
+]

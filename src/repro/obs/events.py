@@ -1,0 +1,157 @@
+"""Typed pipeline events and event sinks.
+
+The simulator publishes its life-of-a-uop milestones as
+:class:`Event` records through whatever *sink* the caller attached.
+The contract that keeps the hot loop fast:
+
+* **no sink attached (the default)** — every emission site is guarded
+  by one attribute-load + ``is None`` check and no event object is
+  ever constructed; an untraced run does the same work as before the
+  event bus existed;
+* **sink attached** — events are plain ``NamedTuple`` instances (no
+  ``__dict__``), and sinks are anything with an ``emit(event)``
+  method, so a recording sink boils down to ``list.append``.
+
+Event payloads are JSON-safe dicts: :mod:`repro.obs.export` writes
+them to JSONL verbatim, and :func:`repro.core.audit.audit_from_events`
+re-derives the full timing audit from them.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from typing import Any, Dict, IO, Iterable, List, NamedTuple, Optional, Union
+
+
+class EventKind(str, enum.Enum):
+    """Every pipeline event the simulator can publish."""
+
+    #: one simulation begins: trace/config identity, FU pool geometry
+    META = "meta"
+    #: trace entry entered the fetch queue
+    FETCH = "fetch"
+    #: conditional-branch direction mispredicted at fetch
+    BRANCH_MISPREDICT = "branch_mispredict"
+    #: uop renamed + allocated into ROB/RS/LSQ
+    DISPATCH = "dispatch"
+    #: dispatch blocked this cycle (ROB/RS/LSQ full)
+    DISPATCH_STALL = "dispatch_stall"
+    #: uop drained from the wakeup array into a pending select queue
+    WAKEUP = "wakeup"
+    #: select arbiter granted a pending request ("P" or "GP" phase)
+    SELECT = "select"
+    #: uop issued; payload carries the full resolved execution window
+    EXEC_WINDOW = "exec_window"
+    #: GP-phase (same-cycle-as-parent) speculative grant
+    GP_GRANT = "gp_grant"
+    #: execution window crossed a clock edge: FU held 2 cycles
+    HOLD = "hold"
+    #: issued off a mispredicted last-arrival tag; selective reissue
+    LA_REPLAY = "la_replay"
+    #: aggressive width misprediction; conservative re-execution
+    WIDTH_MISPREDICT = "width_mispredict"
+    #: at least one FU class denied an old ready request this cycle
+    FU_STALL = "fu_stall"
+    #: result latched / usable by synchronous consumers
+    WRITEBACK = "writeback"
+    #: in-order retirement from the ROB head
+    COMMIT = "commit"
+    #: cache-hierarchy access resolved (level + latency)
+    MEM_ACCESS = "mem_access"
+    #: timing-invariant violation (published by the auditor)
+    VIOLATION = "violation"
+
+
+class Event(NamedTuple):
+    """One pipeline event.
+
+    ``cycle`` is the simulated cycle the event was published in
+    (``-1`` when not cycle-bound, e.g. META), ``seq`` the dynamic
+    instruction sequence number (``-1`` when not uop-bound), and
+    ``data`` a JSON-safe payload dict.
+    """
+
+    kind: EventKind
+    cycle: int = -1
+    seq: int = -1
+    data: Dict[str, Any] = {}
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        return {"kind": self.kind.value, "cycle": self.cycle,
+                "seq": self.seq, "data": self.data}
+
+    @classmethod
+    def from_json_obj(cls, obj: Dict[str, Any]) -> "Event":
+        return cls(kind=EventKind(obj["kind"]), cycle=obj["cycle"],
+                   seq=obj["seq"], data=obj.get("data") or {})
+
+
+class NullSink:
+    """Explicit no-op sink (``None`` is the even cheaper idiom)."""
+
+    def emit(self, event: Event) -> None:
+        pass
+
+
+#: shared no-op instance for call sites that want a non-None sink
+NULL_SINK = NullSink()
+
+
+class Recorder:
+    """In-memory sink: keeps every event in publication order."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        # bind the append once; emission is then a plain method call
+        self.emit = self.events.append
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: EventKind) -> List[Event]:
+        return [e for e in self.events if e.kind is kind]
+
+    def clear(self) -> None:
+        del self.events[:]
+
+
+class JsonlSink:
+    """Streams events to a JSONL file handle as they are emitted.
+
+    Accepts an open text handle; the caller owns its lifetime (use
+    :func:`repro.obs.export.write_events_jsonl` for the common
+    record-then-dump flow).
+    """
+
+    def __init__(self, fh: IO[str]) -> None:
+        self._fh = fh
+
+    def emit(self, event: Event) -> None:
+        self._fh.write(json.dumps(event.to_json_obj(),
+                                  separators=(",", ":")))
+        self._fh.write("\n")
+
+
+class TeeSink:
+    """Fans one event stream out to several sinks."""
+
+    def __init__(self, *sinks: Any) -> None:
+        self.sinks = [s for s in sinks if s is not None]
+
+    def emit(self, event: Event) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+
+def events_from_jsonl(lines: Iterable[str]) -> List[Event]:
+    """Parse an iterable of JSONL lines back into events."""
+    events: List[Event] = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            events.append(Event.from_json_obj(json.loads(line)))
+    return events
+
+
+SinkLike = Optional[Union[NullSink, Recorder, JsonlSink, TeeSink, Any]]

@@ -1,0 +1,157 @@
+"""Metrics registry: counters, gauges, tick-resolution histograms.
+
+The registry is the structured home for everything a simulation can
+measure.  :class:`~repro.analysis.stats.SimStats` — the flat dataclass
+every bench and report reads — is populated *through* the registry at
+the end of a run (see ``SimStats.populate_from``), and the registry
+itself is what the exporters snapshot, so the CLI's metrics dump, the
+campaign JSON and the pytest benches all agree by construction.
+
+Histograms are integer-bucketed at tick resolution (one bucket per
+tick value), which matches the simulator's native time base: the
+slack-per-op and issue-to-execute-latency distributions come out
+exact, not binned.  Histogram observation only happens on traced runs
+(the simulator guards it together with event emission), so the
+untraced hot loop pays nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def set(self, value: int) -> None:
+        """Overwrite (used when mirroring an externally-kept count)."""
+        self.value = value
+
+
+class Gauge:
+    """Last-value-wins float metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class TickHistogram:
+    """Exact integer-valued histogram (one bucket per observed value)."""
+
+    __slots__ = ("name", "counts", "total", "sum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counts: Dict[int, int] = {}
+        self.total = 0
+        self.sum = 0
+
+    def observe(self, value: int, n: int = 1) -> None:
+        self.counts[value] = self.counts.get(value, 0) + n
+        self.total += n
+        self.sum += value * n
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    @property
+    def min(self) -> Optional[int]:
+        return min(self.counts) if self.counts else None
+
+    @property
+    def max(self) -> Optional[int]:
+        return max(self.counts) if self.counts else None
+
+    def percentile(self, p: float) -> Optional[int]:
+        """Smallest value covering fraction *p* of observations."""
+        if not self.counts:
+            return None
+        need = p * self.total
+        seen = 0
+        for value in sorted(self.counts):
+            seen += self.counts[value]
+            if seen >= need:
+                return value
+        return max(self.counts)
+
+    def items(self) -> List[Tuple[int, int]]:
+        return sorted(self.counts.items())
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, TickHistogram] = {}
+
+    # -- accessors (get-or-create) ------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> TickHistogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = TickHistogram(name)
+        return metric
+
+    # -- export --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe dump of every metric (stable key order)."""
+        return {
+            "counters": {n: c.value
+                         for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value
+                       for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: {
+                    "total": h.total,
+                    "mean": h.mean,
+                    "min": h.min,
+                    "max": h.max,
+                    "counts": {str(v): c for v, c in h.items()},
+                }
+                for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def iter_jsonl_objs(self) -> Iterator[Dict[str, Any]]:
+        """One JSON object per metric — the ``metrics.jsonl`` shape."""
+        for name, counter in sorted(self.counters.items()):
+            yield {"metric": name, "type": "counter",
+                   "value": counter.value}
+        for name, gauge in sorted(self.gauges.items()):
+            yield {"metric": name, "type": "gauge", "value": gauge.value}
+        for name, hist in sorted(self.histograms.items()):
+            yield {"metric": name, "type": "histogram",
+                   "total": hist.total, "mean": hist.mean,
+                   "min": hist.min, "max": hist.max,
+                   "counts": {str(v): c for v, c in hist.items()}}

@@ -38,6 +38,29 @@ class TestRenderWindows:
         ruler = text.splitlines()[0]
         assert "|2" in ruler and "|3" in ruler and "|5" not in ruler
 
+    def test_range_excluding_all_windows_renders_empty_axis(self):
+        """Regression: a zoom past every window used to be unhelpful —
+        it must render the requested ruler with an all-blank row."""
+        text = render_windows([Window("x", 0, 8)], from_cycle=5,
+                              to_cycle=7)
+        ruler, row = text.splitlines()
+        assert "|5" in ruler and "|6" in ruler
+        assert "#" not in row
+        assert row.count("|") == 3  # both cycles framed
+
+    def test_explicit_range_with_no_windows_renders_axis(self):
+        text = render_windows([], from_cycle=2, to_cycle=4)
+        assert text != "(no windows)"
+        assert "|2" in text and "|3" in text
+        assert text.splitlines() == [text]  # ruler only, no rows
+
+    def test_empty_cycle_range_is_accepted(self):
+        text = render_windows([Window("x", 0, 8)], from_cycle=3,
+                              to_cycle=3)
+        ruler, row = text.splitlines()
+        assert "#" not in row
+        assert ruler.endswith("|") and row.endswith("|")
+
 
 class TestRenderUops:
     def test_renders_recorded_chain(self):

@@ -1,4 +1,4 @@
-"""CLI smoke tests via subprocess: run, report, clean."""
+"""CLI smoke tests via subprocess: run, report, clean, trace, profile."""
 
 import json
 import os
@@ -57,6 +57,78 @@ def test_run_report_clean_cycle(tmp_path):
     assert proc.returncode == 0, proc.stderr
     assert "removed 2" in proc.stdout
     assert not list((tmp_path / ".redsoc-cache").glob("*.json"))
+
+
+def test_report_and_clean_with_explicit_cache_dir(tmp_path):
+    cache = tmp_path / "my-cache"
+    proc = _campaign(RUN_ARGS + ["--jobs", "1", "--cache-dir",
+                                 str(cache), "-q"], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert cache.is_dir() and list(cache.glob("*.json"))
+
+    proc = _campaign(["report"], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert "Campaign results" in proc.stdout
+
+    proc = _campaign(["clean", "--cache-dir", str(cache)], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert "removed 2" in proc.stdout
+    assert not list(cache.glob("*.json"))
+
+
+def test_run_payload_carries_telemetry(tmp_path):
+    proc = _campaign(RUN_ARGS + ["--jobs", "1", "-q"], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(
+        (tmp_path / "BENCH_campaign.json").read_text())
+    assert payload["telemetry"]["workers_used"]
+    assert "simulate" in payload["telemetry"]["span_totals_s"]
+    for record in payload["results"]:
+        assert record["worker"].startswith("pid-")
+        assert "cache_probe" in record["spans"]
+        assert "simulate" in record["spans"]  # cold cache → simulated
+
+
+def test_trace_subcommand_writes_artifacts(tmp_path):
+    proc = _campaign(["trace", "ml/pool0@small:redsoc", "--scale", "3",
+                      "--out-dir", "artifacts"], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert "perfetto trace" in proc.stdout
+
+    slug = "ml_pool0_small_redsoc"
+    out = tmp_path / "artifacts"
+    doc = json.loads((out / f"{slug}.trace.json").read_text())
+    from repro.obs.export import validate_chrome_trace
+    assert validate_chrome_trace(doc) == []
+
+    events = [json.loads(line) for line in
+              (out / f"{slug}.events.jsonl").read_text().splitlines()]
+    assert events[0]["kind"] == "meta"
+    assert any(e["kind"] == "exec_window" for e in events)
+
+    metrics = [json.loads(line) for line in
+               (out / f"{slug}.metrics.jsonl").read_text().splitlines()]
+    assert {m["metric"] for m in metrics} >= {"core.cycles",
+                                              "slack.per_op"}
+
+
+def test_trace_rejects_bad_jobspec(tmp_path):
+    proc = _campaign(["trace", "pool0-small"], tmp_path)
+    assert proc.returncode == 2
+    assert "bad job spec" in proc.stderr
+
+
+def test_profile_subcommand_prints_hot_functions(tmp_path):
+    proc = _campaign(["profile", "ml/pool0@small:baseline",
+                      "--scale", "3", "--top", "5",
+                      "--output", "prof/job.pstats"], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert "cumulative" in proc.stdout
+    assert "cycles" in proc.stdout
+
+    import pstats
+    stats = pstats.Stats(str(tmp_path / "prof" / "job.pstats"))
+    assert stats.total_calls > 0
 
 
 def test_run_rejects_unknown_selection(tmp_path):

@@ -1,0 +1,150 @@
+"""Audit replay: recorded event streams re-audit without re-simulating.
+
+A traced run's JSONL dump must be a *sufficient* debugging artefact:
+:func:`repro.core.audit.audit_from_events` consumes the recorded
+stream and re-derives all six timing invariants, and these tests pin
+it to the live auditor — same verdicts, same detail strings — across
+workloads, modes and cores, including a JSONL round-trip through disk.
+Handcrafted bad streams prove every rule actually fires on replay.
+"""
+
+import pytest
+
+from repro.core import CORES, RecycleMode
+from repro.core.audit import audit_from_events, audit_run
+from repro.obs import (
+    Event,
+    EventKind,
+    Recorder,
+    read_events_jsonl,
+    write_events_jsonl,
+)
+from repro.pipeline.trace import generate_trace
+from repro.workloads import MICROBENCHES, bitcount, crc32
+from repro.workloads.mlkernels import conv3x3
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        "bitcnt": generate_trace(bitcount(12)),
+        "crc": generate_trace(crc32(80)),
+        "conv": generate_trace(conv3x3(5)),
+        "logic": generate_trace(MICROBENCHES["logic"].build(50)),
+    }
+
+
+def _violation_keys(violations):
+    return [(v.rule, v.seq, v.detail) for v in violations]
+
+
+@pytest.mark.parametrize("mode", list(RecycleMode))
+def test_replay_matches_live_audit(traces, mode):
+    for name, trace in traces.items():
+        recorder = Recorder()
+        live = audit_run(trace, CORES["big"].with_mode(mode),
+                         obs=recorder)
+        replay = audit_from_events(recorder.events)
+        assert replay.audited_uops == live.audited_uops, name
+        assert replay.committed == live.result.stats.committed, name
+        assert _violation_keys(replay.violations) == \
+            _violation_keys(live.violations), name
+        assert replay.ok == live.ok
+
+
+def test_replay_survives_jsonl_round_trip(traces, tmp_path):
+    recorder = Recorder()
+    live = audit_run(traces["crc"], CORES["small"], obs=recorder)
+    path = write_events_jsonl(recorder.events, tmp_path / "run.jsonl")
+    replay = audit_from_events(read_events_jsonl(path))
+    assert replay.ok == live.ok
+    assert replay.audited_uops == live.audited_uops
+    assert _violation_keys(replay.violations) == \
+        _violation_keys(live.violations)
+
+
+def test_replay_requires_meta():
+    with pytest.raises(ValueError):
+        audit_from_events([Event(EventKind.COMMIT, 1, 0, {})])
+
+
+class TestReplayFlagsForgedStreams:
+    """Each rule must fire on a handcrafted bad event stream."""
+
+    def _stream(self, exec_data=None, commits=1, instructions=1,
+                pools=None):
+        meta = Event(EventKind.META, -1, -1, {
+            "trace": "forged", "instructions": instructions,
+            "core": "t", "mode": "redsoc", "scheduler": "real",
+            "ticks_per_cycle": 8,
+            "pools": pools or {"alu": 4},
+        })
+        events = [meta]
+        for i, d in enumerate(exec_data or []):
+            full = {
+                "op": "ADD", "fu": "alu", "issue": 1, "lat": 1,
+                "start": 16, "end": 24, "avail": 24, "sync": 24,
+                "ex": 8, "ex_actual": 8, "transparent": False,
+                "recycled": False, "hold": False, "eager": False,
+                "mem": False, "srcs": [],
+            }
+            full.update(d)
+            events.append(Event(EventKind.EXEC_WINDOW,
+                                full["issue"] + full["lat"], i, full))
+        events.extend(Event(EventKind.COMMIT, 9, i, {"op": "ADD"})
+                      for i in range(commits))
+        return events
+
+    def _rules(self, events):
+        return {v.rule for v in audit_from_events(events).violations}
+
+    def test_clean_forged_stream_passes(self):
+        assert self._rules(self._stream([{}])) == set()
+
+    def test_arrival_violation(self):
+        # starts at tick 8 but the arrival edge is cycle 2 → tick 16
+        bad = {"start": 8, "end": 16}
+        assert "arrival" in self._rules(self._stream([bad]))
+
+    def test_dataflow_violation(self):
+        bad = {"srcs": [[0, 20]]}  # source usable at 20, start is 16
+        assert "dataflow" in self._rules(self._stream([bad]))
+
+    def test_dataflow_never_issued_source(self):
+        bad = {"srcs": [[0, None]]}
+        result = audit_from_events(self._stream([bad]))
+        assert any(v.rule == "dataflow" and "never issued" in v.detail
+                   for v in result.violations)
+
+    def test_window_violation(self):
+        bad = {"end": 30}  # != start + ex and != start + ex_actual
+        assert "window" in self._rules(self._stream([bad]))
+
+    def test_discipline_violation(self):
+        bad = {"start": 19, "end": 27, "transparent": False}
+        assert "discipline" in self._rules(self._stream([bad]))
+
+    def test_capacity_violation(self):
+        crowd = [{} for _ in range(5)]  # 5 ops, 4 alu units, 1 cycle
+        rules = self._rules(self._stream(crowd, commits=5,
+                                         instructions=5))
+        assert "capacity" in rules
+
+    def test_completeness_violation(self):
+        rules = self._rules(self._stream([{}], commits=0))
+        assert "completeness" in rules
+
+    def test_mem_ops_skip_dataflow_and_window(self):
+        bad = {"mem": True, "srcs": [[0, 99]], "end": 30}
+        assert self._rules(self._stream([bad])) == set()
+
+
+def test_violation_events_ride_the_bus(traces):
+    """audit_run publishes its verdict on the same sink as the trace."""
+    recorder = Recorder()
+    live = audit_run(traces["bitcnt"], CORES["medium"], obs=recorder)
+    published = recorder.of_kind(EventKind.VIOLATION)
+    assert len(published) == len(live.violations)
+    # clean run → clean bus; the forged-stream tests above prove the
+    # emission path via audit_from_events' shared AuditViolation type
+    assert live.ok and published == []

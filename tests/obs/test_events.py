@@ -1,0 +1,126 @@
+"""Event-bus unit tests: sinks, ordering, JSONL round-trip."""
+
+import io
+import json
+
+from repro.core import CORES, CoreSimulator
+from repro.obs import (
+    Event,
+    EventKind,
+    JsonlSink,
+    NULL_SINK,
+    Recorder,
+    TeeSink,
+)
+from repro.obs.events import events_from_jsonl
+from repro.pipeline.trace import generate_trace
+from repro.workloads.microbench import MICROBENCHES
+
+
+def _traced_run(bench="logic", n=30, core="big"):
+    trace = generate_trace(MICROBENCHES[bench].build(n))
+    recorder = Recorder()
+    sim = CoreSimulator(trace, CORES[core], obs=recorder)
+    result = sim.run()
+    return sim, result, recorder
+
+
+class TestSinks:
+    def test_null_sink_accepts_anything(self):
+        NULL_SINK.emit(Event(EventKind.FETCH, 0, 0, {}))
+
+    def test_recorder_orders_and_filters(self):
+        recorder = Recorder()
+        recorder.emit(Event(EventKind.FETCH, 0, 0, {}))
+        recorder.emit(Event(EventKind.COMMIT, 3, 0, {}))
+        assert len(recorder) == 2
+        assert [e.kind for e in recorder.events] == [EventKind.FETCH,
+                                                     EventKind.COMMIT]
+        assert len(recorder.of_kind(EventKind.COMMIT)) == 1
+        recorder.clear()
+        assert len(recorder) == 0
+
+    def test_tee_fans_out(self):
+        a, b = Recorder(), Recorder()
+        tee = TeeSink(a, None, b)
+        tee.emit(Event(EventKind.FETCH, 0, 1, {}))
+        assert len(a) == len(b) == 1
+
+    def test_jsonl_sink_streams(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.emit(Event(EventKind.DISPATCH, 2, 7, {"op": "ADD"}))
+        obj = json.loads(buf.getvalue())
+        assert obj == {"kind": "dispatch", "cycle": 2, "seq": 7,
+                       "data": {"op": "ADD"}}
+
+
+class TestJsonlRoundTrip:
+    def test_event_round_trips(self):
+        event = Event(EventKind.EXEC_WINDOW, 9, 4,
+                      {"start": 72, "end": 75, "srcs": [[1, 70]]})
+        back = Event.from_json_obj(
+            json.loads(json.dumps(event.to_json_obj())))
+        assert back == event
+        assert back.kind is EventKind.EXEC_WINDOW
+
+    def test_stream_round_trips(self):
+        _, _, recorder = _traced_run()
+        lines = [json.dumps(e.to_json_obj()) for e in recorder.events]
+        back = events_from_jsonl(lines)
+        assert back == recorder.events
+
+
+class TestPipelineEventStream:
+    def test_life_of_a_uop_ordering(self):
+        """Per uop: fetch <= dispatch <= exec <= commit in cycle order."""
+        _, _, recorder = _traced_run()
+        by_kind = {}
+        for e in recorder.events:
+            by_kind.setdefault(e.kind, {})[e.seq] = e
+        execs = by_kind[EventKind.EXEC_WINDOW]
+        for seq, commit in by_kind[EventKind.COMMIT].items():
+            fetch = by_kind[EventKind.FETCH][seq]
+            dispatch = by_kind[EventKind.DISPATCH][seq]
+            assert fetch.cycle <= dispatch.cycle <= commit.cycle
+            if seq in execs:  # NOP/HALT never execute
+                assert dispatch.cycle <= execs[seq].cycle <= commit.cycle
+
+    def test_meta_event_first_and_complete(self):
+        sim, _, recorder = _traced_run()
+        meta = recorder.events[0]
+        assert meta.kind is EventKind.META
+        assert meta.data["instructions"] == len(sim.trace.entries)
+        assert meta.data["ticks_per_cycle"] == sim.base.ticks_per_cycle
+        assert meta.data["pools"]["alu"] == CORES["big"].alu_units
+
+    def test_every_committed_uop_has_a_commit_event(self):
+        sim, result, recorder = _traced_run()
+        commits = recorder.of_kind(EventKind.COMMIT)
+        assert len(commits) == result.stats.committed
+        assert sorted(e.seq for e in commits) == \
+            list(range(len(sim.trace.entries)))
+
+    def test_recycling_events_present_on_redsoc(self):
+        _, result, recorder = _traced_run()
+        assert len(recorder.of_kind(EventKind.GP_GRANT)) == \
+            result.stats.eager_issues
+        assert len(recorder.of_kind(EventKind.HOLD)) == \
+            result.stats.two_cycle_holds
+
+    def test_wakeup_and_select_events_emitted(self):
+        _, _, recorder = _traced_run()
+        assert recorder.of_kind(EventKind.WAKEUP)
+        selects = recorder.of_kind(EventKind.SELECT)
+        assert selects
+        assert {e.data["phase"] for e in selects} <= {"P", "GP"}
+
+    def test_mem_access_events_carry_level(self):
+        from repro.workloads.suites import SUITES
+        trace = generate_trace(SUITES["ml"]["pool0"](scale=3))
+        recorder = Recorder()
+        CoreSimulator(trace, CORES["small"], obs=recorder).run()
+        accesses = recorder.of_kind(EventKind.MEM_ACCESS)
+        assert accesses
+        assert {e.data["level"] for e in accesses} <= {"l1", "l2", "dram"}
+        assert all(e.cycle >= 0 for e in accesses)
