@@ -71,6 +71,11 @@ class CoreConfig:
     mode: RecycleMode = RecycleMode.REDSOC
     scheduler: SchedulerDesign = SchedulerDesign.OPERATIONAL
     skewed_select: bool = True
+    #: run the Eager-Grandparent (GP) select phase at all; False keeps
+    #: transparent execution but never co-issues children with their
+    #: parents — the "EGPW off" ablation the verification layer's
+    #: metamorphic properties compare against
+    eager_issue: bool = True
     #: eager (same-cycle-as-parent) issue allowed when the parent's CI is
     #: at or below this many ticks into its completion cycle; 7 admits
     #: any parent with at least one tick of slack (tuned per suite in

@@ -319,7 +319,8 @@ class CoreSimulator:
                     stalled = True
                     break
                 # "replayed" → removed from pending, rescheduled later
-        if self.config.mode is not RecycleMode.BASELINE:
+        if (self.config.mode is not RecycleMode.BASELINE
+                and self.config.eager_issue):
             if self.config.skewed_select:
                 self._gp_phase(cycle, issued_now)
             else:

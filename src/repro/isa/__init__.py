@@ -27,6 +27,12 @@ from .opcodes import (
 )
 from .program import Program
 from .registers import FLAGS, Flags, Reg, RegClass, RegisterFile, r, v
+from .serialize import (
+    instruction_from_dict,
+    instruction_to_dict,
+    program_from_dict,
+    program_to_dict,
+)
 from .textasm import AssemblyError, assemble_text
 from .semantics import (
     ExecResult,
@@ -41,7 +47,8 @@ __all__ = [
     "InterpResult", "Interpreter", "Memory", "OpClass", "Opcode",
     "Program", "Reg", "RegClass", "RegisterFile", "ShiftOp", "SimdType",
     "AssemblyError", "assemble_text",
-    "effective_width", "execute", "is_single_cycle_alu",
-    "is_transparent_capable", "op_class", "r", "run_program", "v",
-    "width_bucket",
+    "effective_width", "execute", "instruction_from_dict",
+    "instruction_to_dict", "is_single_cycle_alu",
+    "is_transparent_capable", "op_class", "program_from_dict",
+    "program_to_dict", "r", "run_program", "v", "width_bucket",
 ]

@@ -1,0 +1,54 @@
+"""Differential testing and fuzzing of the ReDSOC simulator.
+
+The verification subsystem cross-checks every layer that claims to
+preserve architectural semantics — golden interpreter, trace executor,
+and the timing cores in every :class:`~repro.core.config.RecycleMode` —
+over deterministically generated random programs, plus metamorphic
+timing relations the recycling design must satisfy.  Failures shrink to
+minimal replayable reproducers under ``.redsoc-verify/``.
+
+CLI: ``python -m repro.verify fuzz|replay|shrink|report``.
+"""
+
+from .artifacts import ArtifactStore, DEFAULT_ROOT, load_spec_file
+from .defects import DEFAULT_DEFECT, DEFECTS, Defect, inject_defect
+from .generator import (
+    GenConfig,
+    LoopSpec,
+    OpSpec,
+    OpcodeCoverage,
+    POOL_BASE,
+    POOL_WORDS,
+    ProgramGenerator,
+    ProgramSpec,
+    SkipSpec,
+    materialize,
+    reachable_opcodes,
+)
+from .metamorphic import (
+    CYCLE_SLOP,
+    CYCLE_TOLERANCE,
+    check_timing_relations,
+    within_bound,
+)
+from .oracle import Divergence, ProgramVerdict, check_program
+from .session import (
+    Finding,
+    FuzzOutcome,
+    check_spec,
+    run_fuzz,
+    shrink_finding,
+)
+from .shrink import ShrinkResult, shrink
+
+__all__ = [
+    "ArtifactStore", "CYCLE_SLOP", "CYCLE_TOLERANCE", "DEFAULT_DEFECT",
+    "DEFAULT_ROOT", "DEFECTS", "Defect", "Divergence", "Finding",
+    "FuzzOutcome", "GenConfig", "LoopSpec", "OpSpec", "OpcodeCoverage",
+    "POOL_BASE", "POOL_WORDS", "ProgramGenerator", "ProgramSpec",
+    "ProgramVerdict", "ShrinkResult", "SkipSpec", "check_program",
+    "check_spec", "check_timing_relations", "inject_defect",
+    "load_spec_file", "materialize", "reachable_opcodes", "run_fuzz",
+    "shrink",
+    "shrink_finding", "within_bound",
+]

@@ -1,0 +1,134 @@
+"""Replayable failure artifacts under ``.redsoc-verify/``.
+
+Every finding the fuzzer keeps is written as a self-contained directory:
+
+::
+
+    .redsoc-verify/
+      session.json                 # seed, budget, coverage, finding index
+      failures/<program-name>/
+        spec.json                  # generator descriptor tree (shrinkable)
+        shrunk.json                # minimised spec, when shrinking ran
+        program.json               # assembled Program (generator-independent)
+        report.json                # divergences + cycle counts + defect
+        events.jsonl               # pipeline event trace of the REDSOC run
+
+``spec.json``/``shrunk.json`` replay through the generator's
+:func:`~repro.verify.generator.materialize`; ``program.json`` replays
+through :func:`repro.isa.program_from_dict` even if the generator's
+conventions change.  ``session.json`` is deterministic — it carries no
+timestamps or host data — so two fuzz runs with the same seed and
+budget produce byte-identical sessions (asserted by the CLI tests).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.core.config import CoreConfig, RecycleMode
+from repro.core.cpu import simulate
+from repro.isa.serialize import program_to_dict
+from repro.obs import Recorder, write_events_jsonl
+
+from .generator import ProgramSpec, materialize
+from .oracle import ProgramVerdict
+from .shrink import ShrinkResult
+
+#: default artifact root, relative to the working directory
+DEFAULT_ROOT = ".redsoc-verify"
+
+
+def _dump(path: Path, payload: Dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+class ArtifactStore:
+    """Filesystem layout manager for one fuzz/replay session."""
+
+    def __init__(self, root: Path = Path(DEFAULT_ROOT)) -> None:
+        self.root = Path(root)
+
+    @property
+    def session_path(self) -> Path:
+        return self.root / "session.json"
+
+    def failure_dir(self, name: str) -> Path:
+        return self.root / "failures" / name
+
+    # -- writing ---------------------------------------------------------
+
+    def write_failure(self, spec: ProgramSpec, verdict: ProgramVerdict, *,
+                      config: CoreConfig,
+                      shrunk: Optional[ShrinkResult] = None,
+                      defect: Optional[str] = None) -> Path:
+        """Persist one finding; returns its directory."""
+        directory = self.failure_dir(spec.name)
+        _dump(directory / "spec.json", spec.to_dict())
+        report: Dict[str, Any] = {
+            "config": config.name,
+            "defect": defect,
+            "verdict": verdict.to_payload(),
+        }
+        replay_spec = spec
+        if shrunk is not None:
+            _dump(directory / "shrunk.json", shrunk.spec.to_dict())
+            report["shrunk"] = {
+                "evaluations": shrunk.evaluations,
+                "instructions": shrunk.instructions,
+            }
+            replay_spec = shrunk.spec
+        _dump(directory / "report.json", report)
+        try:
+            program = materialize(replay_spec)
+        except ValueError:
+            return directory
+        _dump(directory / "program.json", program_to_dict(program))
+        # pipeline event trace of the (shrunk) failing program under the
+        # mode the paper cares about — feeds the obs/Perfetto tooling
+        recorder = Recorder()
+        simulate(program, config.with_mode(RecycleMode.REDSOC),
+                 obs=recorder)
+        write_events_jsonl(recorder.events, directory / "events.jsonl")
+        return directory
+
+    def write_session(self, payload: Dict[str, Any]) -> Path:
+        _dump(self.session_path, payload)
+        return self.session_path
+
+    # -- reading ---------------------------------------------------------
+
+    def read_session(self) -> Dict[str, Any]:
+        return json.loads(self.session_path.read_text(encoding="utf-8"))
+
+    def load_spec(self, name: str, *, shrunk: bool = True) -> ProgramSpec:
+        """Load a stored failure spec (preferring the shrunk form)."""
+        directory = self.failure_dir(name)
+        candidates = (["shrunk.json", "spec.json"] if shrunk
+                      else ["spec.json"])
+        for filename in candidates:
+            path = directory / filename
+            if path.exists():
+                return ProgramSpec.from_dict(
+                    json.loads(path.read_text(encoding="utf-8")))
+        raise FileNotFoundError(
+            f"no spec stored under {directory}")
+
+    def failures(self) -> Dict[str, Path]:
+        """Mapping of stored failure name → directory."""
+        base = self.root / "failures"
+        if not base.is_dir():
+            return {}
+        return {p.name: p for p in sorted(base.iterdir()) if p.is_dir()}
+
+
+def load_spec_file(path: Path) -> ProgramSpec:
+    """Load a ProgramSpec from an explicit JSON file path."""
+    return ProgramSpec.from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+__all__ = ["ArtifactStore", "DEFAULT_ROOT", "load_spec_file"]

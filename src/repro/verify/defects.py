@@ -1,0 +1,100 @@
+"""Named, injectable semantics defects for self-checking the verifier.
+
+A fuzzer that never finds a bug is indistinguishable from a fuzzer that
+can't.  This module provides a registry of small, realistic semantics
+bugs that can be switched on inside a ``with`` block; each one patches
+the ``execute`` binding **in** :mod:`repro.pipeline.trace` only, so the
+trace executor (and therefore every timing core replaying its traces)
+goes wrong while the :class:`~repro.isa.interpreter.Interpreter` golden
+model stays correct — exactly the class of divergence the differential
+oracle exists to catch.
+
+The CLI's ``fuzz --self-check`` and the test suite use these to prove,
+end to end, that a seeded defect is caught *and* shrinks to a minimal
+reproducer.
+
+Every defect here is picked to keep generated programs terminating:
+none touches ``next_pc``, and none perturbs flag-setting ops (loop
+back-edges depend on ``SUBS`` of reserved counter registers).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.semantics import ExecResult
+
+#: mutates an ExecResult in place after the real execute() ran
+Mutator = Callable[[Instruction, ExecResult], None]
+
+
+@dataclass(frozen=True)
+class Defect:
+    name: str
+    description: str
+    mutate: Mutator
+
+
+def _eor_lsb(instr: Instruction, res: ExecResult) -> None:
+    if instr.op is Opcode.EOR and instr.rd in res.writes:
+        res.writes[instr.rd] ^= 1
+
+
+def _sub_off_by_one(instr: Instruction, res: ExecResult) -> None:
+    # plain SUB only: SUBS drives loop counters, and corrupting those
+    # would turn bounded loops into (near-)unbounded ones
+    if (instr.op is Opcode.SUB and not instr.set_flags
+            and instr.rd in res.writes):
+        res.writes[instr.rd] = (res.writes[instr.rd] + 1) & 0xFFFFFFFF
+
+def _store_drop(instr: Instruction, res: ExecResult) -> None:
+    if res.is_store:
+        res.is_store = False
+
+
+DEFECTS: Dict[str, Defect] = {d.name: d for d in (
+    Defect("eor-lsb",
+           "EOR results have their least-significant bit flipped",
+           _eor_lsb),
+    Defect("sub-off-by-one",
+           "non-flag-setting SUB computes rn - operand2 + 1",
+           _sub_off_by_one),
+    Defect("store-drop",
+           "stores are silently discarded (loads see stale memory)",
+           _store_drop),
+)}
+
+DEFAULT_DEFECT = "eor-lsb"
+
+
+@contextlib.contextmanager
+def inject_defect(name: str) -> Iterator[Defect]:
+    """Activate defect *name* inside the ``with`` block.
+
+    Patches ``repro.pipeline.trace.execute`` (the name the trace
+    executor calls through), leaving ``repro.isa.semantics.execute``
+    and the interpreter's own binding untouched.
+    """
+    import repro.pipeline.trace as trace_mod
+
+    defect = DEFECTS[name]  # KeyError on unknown names is the API
+    original = trace_mod.execute
+
+    def buggy_execute(instr, regs, mem, pc):
+        res = original(instr, regs, mem, pc)
+        defect.mutate(instr, res)
+        return res
+
+    trace_mod.execute = buggy_execute
+    try:
+        yield defect
+    finally:
+        trace_mod.execute = original
+
+
+__all__ = ["DEFAULT_DEFECT", "DEFECTS", "Defect", "Mutator",
+           "inject_defect"]

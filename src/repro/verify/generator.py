@@ -1,0 +1,640 @@
+"""Seeded random-program generator with per-opcode coverage accounting.
+
+The fuzzer's front end.  Unlike the hypothesis strategy in the
+integration tests (a flat loop body over ten op shapes), this generator
+reaches **every opcode in the ISA** and the control/dataflow shapes that
+stress the scheduler: conditional forward branches chained off real flag
+producers, loop nests with dedicated counters, aliasing loads/stores
+into a small shared memory pool, SIMD across all four element types,
+carry chains (``ADC``/``SBC``/``RRX`` after flag-setting ops) and
+flexible-operand shifts.
+
+Programs are built as a :class:`ProgramSpec` — a tree of small
+descriptors (:class:`OpSpec`, :class:`LoopSpec`, :class:`SkipSpec`) —
+and only *materialised* into a real
+:class:`~repro.isa.program.Program` on demand.  The descriptor tree is
+what the delta-debugging shrinker edits: removing a descriptor and
+re-materialising always yields a structurally valid program (labels,
+counters and HALT are re-synthesised), so shrinking never has to reason
+about branch targets.
+
+Determinism: a spec is a pure function of ``(seed, index)`` (seeded
+``random.Random`` over a string key, which hashes deterministically
+across processes and Python versions).  Two fuzz sessions with the same
+seed and budget generate byte-identical programs.
+
+Register convention of materialised programs:
+
+========  ====================================================
+r0–r7     operand registers (the only scalar dests the body uses)
+r8        BL link register
+r9        scratch address register (second aliasing base)
+r10       inner-loop counter
+r11       outer-loop counter
+r12       memory-pool base (``POOL_BASE``)
+v0–v3     vector operand registers
+========  ====================================================
+
+Body descriptors never write r8–r12, so loop termination is
+guaranteed by construction; every branch except the two counted
+back-edges is strictly forward.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.isa.assembler import Asm
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Cond, Opcode, ShiftOp, SimdType
+from repro.isa.program import Program
+from repro.isa.registers import Reg, r
+from repro.isa.serialize import reg_from_str
+from repro.pipeline.trace import Trace
+
+#: base address and size (32-bit words) of the shared memory pool all
+#: generated memory operations alias into
+POOL_BASE = 0x1000
+POOL_WORDS = 32
+
+#: operand registers the generator draws from
+_OPERAND_REGS = [f"r{i}" for i in range(8)]
+_VECTOR_REGS = [f"v{i}" for i in range(4)]
+
+_LINK_REG = r(8)
+_ALIAS_BASE_REG = r(9)
+_INNER_COUNTER = r(10)
+_OUTER_COUNTER = r(11)
+_POOL_REG = r(12)
+
+#: values that exercise both width-slack extremes and flag corners
+_INTERESTING_VALUES = (0, 1, 2, 3, 7, 0xFF, 0x100, 0xFFFF, 0x10000,
+                      0x7FFFFFFF, 0x80000000, 0xFFFFFFFF, 0xFFFFFFFE)
+
+
+# ---------------------------------------------------------------------------
+# spec descriptors
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OpSpec:
+    """One body instruction, registers spelled as strings (``"r3"``)."""
+
+    op: str
+    rd: Optional[str] = None
+    rn: Optional[str] = None
+    rm: Optional[str] = None
+    ra: Optional[str] = None
+    rs: Optional[str] = None
+    imm: Optional[int] = None
+    shift: Optional[str] = None
+    shift_amt: int = 0
+    s: bool = False
+    dtype: Optional[int] = None
+    scale: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"kind": "op", "op": self.op}
+        for key in ("rd", "rn", "rm", "ra", "rs", "imm", "shift",
+                    "dtype"):
+            value = getattr(self, key)
+            if value is not None:
+                d[key] = value
+        if self.shift is not None:
+            d["shift_amt"] = self.shift_amt
+        if self.s:
+            d["s"] = True
+        if self.scale != 1:
+            d["scale"] = self.scale
+        return d
+
+    def regs(self) -> List[str]:
+        return [t for t in (self.rd, self.rn, self.rm, self.ra, self.rs)
+                if t is not None]
+
+
+@dataclass
+class LoopSpec:
+    """A counted inner loop (``r10`` counter, backward ``bne``)."""
+
+    iters: int
+    body: List["BodyItem"] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "loop", "iters": self.iters,
+                "body": [item.to_dict() for item in self.body]}
+
+
+@dataclass
+class SkipSpec:
+    """A forward branch over (or a BL landing on) the nested body.
+
+    ``link=False``: ``b<cond> Lend`` skips the body when *cond* holds
+    against the current flags.  ``link=True``: ``bl Lnext, r8`` — an
+    unconditional branch-and-link to the very next instruction, so the
+    body stays live and the link write is exercised.
+    """
+
+    cond: str = "al"
+    link: bool = False
+    body: List["BodyItem"] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "skip", "cond": self.cond, "link": self.link,
+                "body": [item.to_dict() for item in self.body]}
+
+
+BodyItem = Union[OpSpec, LoopSpec, SkipSpec]
+
+
+def item_from_dict(d: Dict[str, Any]) -> BodyItem:
+    kind = d.get("kind", "op")
+    if kind == "op":
+        return OpSpec(**{k: val for k, val in d.items() if k != "kind"})
+    body = [item_from_dict(i) for i in d.get("body", [])]
+    if kind == "loop":
+        return LoopSpec(iters=d["iters"], body=body)
+    if kind == "skip":
+        return SkipSpec(cond=d.get("cond", "al"),
+                        link=d.get("link", False), body=body)
+    raise ValueError(f"unknown body item kind {kind!r}")
+
+
+@dataclass
+class ProgramSpec:
+    """A whole generated program in shrinkable descriptor form."""
+
+    name: str
+    seed: str
+    iters: int = 1
+    init_regs: Dict[str, int] = field(default_factory=dict)
+    pool_words: List[int] = field(default_factory=list)
+    body: List[BodyItem] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "iters": self.iters,
+            "init_regs": dict(self.init_regs),
+            "pool_words": list(self.pool_words),
+            "body": [item.to_dict() for item in self.body],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ProgramSpec":
+        return cls(
+            name=d["name"], seed=d.get("seed", ""),
+            iters=d.get("iters", 1),
+            init_regs={k: int(val)
+                       for k, val in d.get("init_regs", {}).items()},
+            pool_words=[int(w) for w in d.get("pool_words", [])],
+            body=[item_from_dict(i) for i in d.get("body", [])],
+        )
+
+
+# ---------------------------------------------------------------------------
+# materialisation
+# ---------------------------------------------------------------------------
+
+def _walk_ops(items: Iterable[BodyItem]) -> Iterable[OpSpec]:
+    for item in items:
+        if isinstance(item, OpSpec):
+            yield item
+        else:
+            yield from _walk_ops(item.body)
+
+
+def materialize(spec: ProgramSpec) -> Program:
+    """Build a validated :class:`Program` from *spec*.
+
+    Prologue (register/pool initialisation), loop scaffolding, labels
+    and the final HALT are synthesised here; only registers the body
+    actually references are initialised, so a shrunk one-op spec
+    materialises into a minimal few-instruction program.
+    """
+    asm = Asm(spec.name)
+    used_scalar: List[str] = []
+    used_vector: List[str] = []
+    needs_pool = False
+    needs_alias_base = False
+    needs_link = False
+    for op in _walk_ops(spec.body):
+        for token in op.regs():
+            bucket = used_vector if token.startswith("v") else used_scalar
+            if token not in bucket and token in (_OPERAND_REGS
+                                                 + _VECTOR_REGS):
+                bucket.append(token)
+        if Opcode[op.op] in (Opcode.LDR, Opcode.LDRB, Opcode.STR,
+                             Opcode.STRB, Opcode.VLD1, Opcode.VST1):
+            needs_pool = True
+            if op.rn == "r9":
+                needs_alias_base = True
+    def _walk_items(items: Iterable[BodyItem]) -> Iterable[BodyItem]:
+        for item in items:
+            yield item
+            if not isinstance(item, OpSpec):
+                yield from _walk_items(item.body)
+
+    for item in _walk_items(spec.body):
+        if isinstance(item, SkipSpec) and item.link:
+            needs_link = True
+    if used_vector:
+        needs_pool = True
+
+    if needs_pool or spec.pool_words:
+        asm.data_words(POOL_BASE, spec.pool_words or [0] * POOL_WORDS)
+    if needs_pool:
+        asm.mov(_POOL_REG, POOL_BASE)
+    if needs_alias_base:
+        # second base into the same pool, offset by one cache-line-ish
+        # stride: [r9 + k] aliases [r12 + k + 8] (memory-aliasing seam)
+        asm.mov(_ALIAS_BASE_REG, POOL_BASE + 8)
+    if needs_link:
+        asm.mov(_LINK_REG, 0)
+    for token in used_scalar:
+        asm.mov(reg_from_str(token), spec.init_regs.get(token, 0))
+    for i, token in enumerate(used_vector):
+        asm.vld1(reg_from_str(token), _POOL_REG, (i * 16) % 64)
+
+    labels = iter(range(1_000_000))
+
+    def fresh(prefix: str) -> str:
+        return f"{prefix}_{next(labels)}"
+
+    def emit_items(items: List[BodyItem], depth: int) -> None:
+        for item in items:
+            if isinstance(item, OpSpec):
+                asm.emit(_op_to_instruction(item))
+            elif isinstance(item, LoopSpec):
+                if depth > 0:
+                    # both levels would share the r10 counter; the
+                    # generator never nests counted loops inside loops
+                    raise ValueError(
+                        "nested inner loops are not materialisable")
+                top = fresh("inner")
+                asm.mov(_INNER_COUNTER, max(1, item.iters))
+                asm.label(top)
+                emit_items(item.body, depth + 1)
+                asm.subs(_INNER_COUNTER, _INNER_COUNTER, 1)
+                asm.b(top, cond=Cond.NE)
+            elif isinstance(item, SkipSpec):
+                if item.link:
+                    land = fresh("land")
+                    asm.bl(land, link=_LINK_REG)
+                    asm.label(land)
+                    emit_items(item.body, depth + 1)
+                else:
+                    end = fresh("skip")
+                    asm.b(end, cond=Cond(item.cond))
+                    emit_items(item.body, depth + 1)
+                    asm.label(end)
+            else:  # pragma: no cover - descriptor union is closed
+                raise TypeError(f"unknown body item {item!r}")
+
+    if spec.iters > 1:
+        top = fresh("outer")
+        asm.mov(_OUTER_COUNTER, spec.iters)
+        asm.label(top)
+        emit_items(spec.body, 0)
+        asm.subs(_OUTER_COUNTER, _OUTER_COUNTER, 1)
+        asm.b(top, cond=Cond.NE)
+    else:
+        emit_items(spec.body, 0)
+    asm.halt()
+    return asm.finish()
+
+
+def _op_to_instruction(op: OpSpec) -> Instruction:
+    def reg(token: Optional[str]) -> Optional[Reg]:
+        return reg_from_str(token)
+
+    return Instruction(
+        op=Opcode[op.op], rd=reg(op.rd), rn=reg(op.rn), rm=reg(op.rm),
+        ra=reg(op.ra), rs=reg(op.rs), imm=op.imm,
+        shift=ShiftOp(op.shift) if op.shift else ShiftOp.NONE,
+        shift_amt=op.shift_amt, set_flags=op.s,
+        dtype=SimdType(op.dtype) if op.dtype else None,
+        scale=op.scale)
+
+
+# ---------------------------------------------------------------------------
+# generation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Size knobs of one generated program."""
+
+    min_body: int = 4
+    max_body: int = 18
+    min_iters: int = 2
+    max_iters: int = 8
+    max_inner_iters: int = 5
+    max_nested_ops: int = 5
+
+
+class ProgramGenerator:
+    """Deterministic program source: ``spec(i)`` for i in [0, budget)."""
+
+    def __init__(self, seed: int, config: GenConfig = GenConfig()) -> None:
+        self.seed = seed
+        self.config = config
+
+    def spec(self, index: int) -> ProgramSpec:
+        key = f"{self.seed}:{index}"
+        rng = random.Random(key)
+        config = self.config
+        spec = ProgramSpec(name=f"fuzz-{self.seed}-{index}", seed=key)
+        spec.iters = rng.randint(config.min_iters, config.max_iters)
+        spec.init_regs = {
+            token: rng.choice(_INTERESTING_VALUES)
+            if rng.random() < 0.5 else rng.getrandbits(32)
+            for token in _OPERAND_REGS}
+        spec.pool_words = [rng.choice(_INTERESTING_VALUES)
+                           if rng.random() < 0.5 else rng.getrandbits(32)
+                           for _ in range(POOL_WORDS)]
+        body_len = rng.randint(config.min_body, config.max_body)
+        while len(spec.body) < body_len:
+            spec.body.extend(self._gen_item(rng, nested=False))
+        return spec
+
+    def program(self, index: int) -> Program:
+        return materialize(self.spec(index))
+
+    # -- item generation ------------------------------------------------
+
+    def _gen_item(self, rng: random.Random, *,
+                  nested: bool) -> List[BodyItem]:
+        roll = rng.random()
+        if not nested and roll < 0.08:
+            iters = rng.randint(2, self.config.max_inner_iters)
+            body = self._gen_ops(rng, rng.randint(
+                1, self.config.max_nested_ops))
+            return [LoopSpec(iters=iters, body=body)]
+        if not nested and roll < 0.20:
+            # flag chain: a real flag producer, then a conditional
+            # forward branch over a short nested body
+            producer = self._gen_flag_producer(rng)
+            cond = rng.choice([c for c in Cond if c is not Cond.AL])
+            body = self._gen_ops(rng, rng.randint(
+                1, self.config.max_nested_ops))
+            return [producer,
+                    SkipSpec(cond=cond.value, link=False, body=body)]
+        if not nested and roll < 0.24:
+            body = self._gen_ops(rng, rng.randint(1, 2))
+            return [SkipSpec(cond=Cond.AL.value, link=True, body=body)]
+        return [self._gen_op(rng)]
+
+    def _gen_ops(self, rng: random.Random, count: int) -> List[BodyItem]:
+        return [self._gen_op(rng) for _ in range(count)]
+
+    def _gen_flag_producer(self, rng: random.Random) -> OpSpec:
+        op = rng.choice(["CMP", "CMN", "TST", "TEQ", "SUB", "ADD",
+                         "AND", "EOR"])
+        spec = self._gen_op_named(rng, op)
+        spec.s = True
+        return spec
+
+    def _gen_op(self, rng: random.Random) -> OpSpec:
+        return self._gen_op_named(rng, rng.choice(_MENU))
+
+    def _gen_op_named(self, rng: random.Random, name: str) -> OpSpec:
+        maker = _MAKERS[name]
+        return maker(rng)
+
+
+def _rreg(rng: random.Random) -> str:
+    return rng.choice(_OPERAND_REGS)
+
+
+def _vreg(rng: random.Random) -> str:
+    return rng.choice(_VECTOR_REGS)
+
+
+def _op2(rng: random.Random) -> Dict[str, Any]:
+    """Flexible second operand: register, shifted register or imm."""
+    roll = rng.random()
+    if roll < 0.45:
+        return {"rm": _rreg(rng)}
+    if roll < 0.65:
+        shift = rng.choice(["lsl", "lsr", "asr", "ror"])
+        return {"rm": _rreg(rng), "shift": shift,
+                "shift_amt": rng.randint(1, 12)}
+    return {"imm": rng.choice((0, 1, 3, 0xFF, 0xFFFF,
+                               rng.getrandbits(12)))}
+
+
+def _dtype(rng: random.Random) -> int:
+    return rng.choice((8, 16, 32, 64))
+
+
+def _dp3(name: str):
+    def make(rng: random.Random) -> OpSpec:
+        return OpSpec(op=name, rd=_rreg(rng), rn=_rreg(rng),
+                      s=rng.random() < 0.3, **_op2(rng))
+    return make
+
+
+def _dp2(name: str):
+    def make(rng: random.Random) -> OpSpec:
+        return OpSpec(op=name, rd=_rreg(rng), s=rng.random() < 0.3,
+                      **_op2(rng))
+    return make
+
+
+def _cmp2(name: str):
+    def make(rng: random.Random) -> OpSpec:
+        return OpSpec(op=name, rn=_rreg(rng), s=True, **_op2(rng))
+    return make
+
+
+def _shift3(name: str):
+    def make(rng: random.Random) -> OpSpec:
+        if rng.random() < 0.5:
+            return OpSpec(op=name, rd=_rreg(rng), rn=_rreg(rng),
+                          imm=rng.randint(0, 31), s=rng.random() < 0.3)
+        return OpSpec(op=name, rd=_rreg(rng), rn=_rreg(rng),
+                      rm=_rreg(rng), s=rng.random() < 0.3)
+    return make
+
+
+def _rrx(rng: random.Random) -> OpSpec:
+    return OpSpec(op="RRX", rd=_rreg(rng), rn=_rreg(rng),
+                  s=rng.random() < 0.5)
+
+
+def _mul3(name: str):
+    def make(rng: random.Random) -> OpSpec:
+        return OpSpec(op=name, rd=_rreg(rng), rn=_rreg(rng),
+                      rm=_rreg(rng))
+    return make
+
+
+def _mla(rng: random.Random) -> OpSpec:
+    return OpSpec(op="MLA", rd=_rreg(rng), rn=_rreg(rng),
+                  rm=_rreg(rng), ra=_rreg(rng))
+
+
+def _mem_load(name: str, *, vector: bool = False):
+    def make(rng: random.Random) -> OpSpec:
+        rd = _vreg(rng) if vector else _rreg(rng)
+        base = "r9" if rng.random() < 0.3 else "r12"
+        if rng.random() < 0.2 and not vector:
+            return OpSpec(op=name, rd=rd, rn=base,
+                          rm=_rreg(rng), imm=0,
+                          scale=rng.choice((1, 2, 4)))
+        limit = POOL_WORDS * 4 - (16 if vector else 4)
+        return OpSpec(op=name, rd=rd, rn=base,
+                      imm=rng.randint(0, limit))
+    return make
+
+
+def _mem_store(name: str, *, vector: bool = False):
+    def make(rng: random.Random) -> OpSpec:
+        rs = _vreg(rng) if vector else _rreg(rng)
+        base = "r9" if rng.random() < 0.3 else "r12"
+        limit = POOL_WORDS * 4 - (16 if vector else 4)
+        return OpSpec(op=name, rs=rs, rn=base,
+                      imm=rng.randint(0, limit))
+    return make
+
+
+def _v3(name: str):
+    def make(rng: random.Random) -> OpSpec:
+        return OpSpec(op=name, rd=_vreg(rng), rn=_vreg(rng),
+                      rm=_vreg(rng), dtype=_dtype(rng))
+    return make
+
+
+def _vmla(rng: random.Random) -> OpSpec:
+    vd = _vreg(rng)
+    return OpSpec(op="VMLA", rd=vd, rn=_vreg(rng), rm=_vreg(rng),
+                  ra=vd, dtype=_dtype(rng))
+
+
+def _vdup(rng: random.Random) -> OpSpec:
+    return OpSpec(op="VDUP", rd=_vreg(rng), rn=_rreg(rng),
+                  dtype=_dtype(rng))
+
+
+def _vmov(rng: random.Random) -> OpSpec:
+    return OpSpec(op="VMOV", rd=_vreg(rng), rn=_vreg(rng))
+
+
+def _nop(rng: random.Random) -> OpSpec:
+    return OpSpec(op="NOP")
+
+
+_MAKERS = {
+    "AND": _dp3("AND"), "ORR": _dp3("ORR"), "EOR": _dp3("EOR"),
+    "BIC": _dp3("BIC"),
+    "MOV": _dp2("MOV"), "MVN": _dp2("MVN"),
+    "TST": _cmp2("TST"), "TEQ": _cmp2("TEQ"), "CMP": _cmp2("CMP"),
+    "CMN": _cmp2("CMN"),
+    "LSL": _shift3("LSL"), "LSR": _shift3("LSR"),
+    "ASR": _shift3("ASR"), "ROR": _shift3("ROR"), "RRX": _rrx,
+    "ADD": _dp3("ADD"), "SUB": _dp3("SUB"), "RSB": _dp3("RSB"),
+    "ADC": _dp3("ADC"), "SBC": _dp3("SBC"), "RSC": _dp3("RSC"),
+    "MUL": _mul3("MUL"), "MLA": _mla,
+    "SDIV": _mul3("SDIV"), "UDIV": _mul3("UDIV"),
+    "FADD": _mul3("FADD"), "FSUB": _mul3("FSUB"),
+    "FMUL": _mul3("FMUL"), "FDIV": _mul3("FDIV"),
+    "LDR": _mem_load("LDR"), "LDRB": _mem_load("LDRB"),
+    "STR": _mem_store("STR"), "STRB": _mem_store("STRB"),
+    "VLD1": _mem_load("VLD1", vector=True),
+    "VST1": _mem_store("VST1", vector=True),
+    "VADD": _v3("VADD"), "VSUB": _v3("VSUB"), "VMUL": _v3("VMUL"),
+    "VMLA": _vmla, "VMAX": _v3("VMAX"), "VMIN": _v3("VMIN"),
+    "VAND": _v3("VAND"), "VORR": _v3("VORR"), "VEOR": _v3("VEOR"),
+    "VSHL": _v3("VSHL"), "VSHR": _v3("VSHR"),
+    "VDUP": _vdup, "VMOV": _vmov,
+    "NOP": _nop,
+}
+
+_MENU = sorted(_MAKERS)
+
+#: opcodes only the materialiser emits (scaffolding, always present in
+#: any non-trivial program)
+_SCAFFOLD_OPS = frozenset({Opcode.B, Opcode.BL, Opcode.HALT})
+
+
+# ---------------------------------------------------------------------------
+# coverage accounting
+# ---------------------------------------------------------------------------
+
+class OpcodeCoverage:
+    """Static and dynamic per-opcode counts across a fuzz session."""
+
+    def __init__(self) -> None:
+        self.static: Dict[Opcode, int] = {op: 0 for op in Opcode}
+        self.dynamic: Dict[Opcode, int] = {op: 0 for op in Opcode}
+        self.programs = 0
+        self.dynamic_instructions = 0
+
+    def add_program(self, program: Program,
+                    trace: Optional[Trace] = None) -> None:
+        self.programs += 1
+        for instr in program.instructions:
+            self.static[instr.op] += 1
+        if trace is not None:
+            self.add_trace(trace)
+
+    def add_trace(self, trace: Trace) -> None:
+        for entry in trace.entries:
+            self.dynamic[entry.instr.op] += 1
+            self.dynamic_instructions += 1
+
+    def missing_static(self) -> List[Opcode]:
+        return [op for op in Opcode if self.static[op] == 0]
+
+    def missing_dynamic(self) -> List[Opcode]:
+        return [op for op in Opcode if self.dynamic[op] == 0]
+
+    @property
+    def static_fraction(self) -> float:
+        total = len(Opcode)
+        return (total - len(self.missing_static())) / total
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "programs": self.programs,
+            "dynamic_instructions": self.dynamic_instructions,
+            "static": {op.name: self.static[op] for op in Opcode},
+            "dynamic": {op.name: self.dynamic[op] for op in Opcode},
+            "missing_static": [op.name for op in self.missing_static()],
+            "missing_dynamic": [op.name
+                                for op in self.missing_dynamic()],
+        }
+
+    def render(self) -> str:
+        """Human-readable coverage table (sorted by static count)."""
+        lines = [f"opcode coverage over {self.programs} program(s), "
+                 f"{self.dynamic_instructions} dynamic instruction(s):",
+                 f"  {'opcode':8s} {'static':>8s} {'dynamic':>10s}"]
+        for op in sorted(Opcode, key=lambda o: (-self.static[o], o.name)):
+            lines.append(f"  {op.name:8s} {self.static[op]:8d} "
+                         f"{self.dynamic[op]:10d}")
+        missing = self.missing_static()
+        covered = len(Opcode) - len(missing)
+        lines.append(f"  covered {covered}/{len(Opcode)} opcodes"
+                     + (f"; missing: "
+                        f"{', '.join(op.name for op in missing)}"
+                        if missing else ""))
+        return "\n".join(lines)
+
+
+def reachable_opcodes() -> List[Opcode]:
+    """Every opcode the generator (plus scaffolding) can emit."""
+    return sorted(
+        {Opcode[name] for name in _MAKERS} | set(_SCAFFOLD_OPS),
+        key=lambda op: op.name)
+
+
+__all__ = [
+    "GenConfig", "LoopSpec", "OpSpec", "OpcodeCoverage", "POOL_BASE",
+    "POOL_WORDS", "ProgramGenerator", "ProgramSpec", "SkipSpec",
+    "item_from_dict", "materialize", "reachable_opcodes",
+]

@@ -1,0 +1,182 @@
+"""Fuzz-session engine: generate → check → shrink → persist.
+
+The CLI is a thin argument parser over :func:`run_fuzz`; tests drive
+this module directly.  A session is a pure function of ``(seed, budget,
+config, defect)`` — its summary payload carries no timestamps or host
+state, so identical invocations produce byte-identical ``session.json``
+files (that determinism is itself under test).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.config import CoreConfig, SMALL
+from repro.core.cpu import simulate
+
+from .artifacts import ArtifactStore
+from .defects import inject_defect
+from .generator import (
+    GenConfig,
+    OpcodeCoverage,
+    ProgramGenerator,
+    ProgramSpec,
+    materialize,
+)
+from .oracle import ProgramVerdict, SimulateFn, check_program
+from .shrink import ShrinkResult, shrink
+
+#: stop fuzzing after this many findings by default — a systematic bug
+#: would otherwise flag most of the budget and shrink each one
+DEFAULT_MAX_FAILURES = 8
+
+
+@dataclass
+class Finding:
+    """One failing program, optionally with its shrunk reproducer."""
+
+    spec: ProgramSpec
+    verdict: ProgramVerdict
+    shrunk: Optional[ShrinkResult] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.spec.name,
+            "checks": sorted({d.check for d in self.verdict.divergences}),
+            "divergences": len(self.verdict.divergences),
+        }
+        if self.shrunk is not None:
+            payload["shrunk_instructions"] = self.shrunk.instructions
+            payload["shrink_evaluations"] = self.shrunk.evaluations
+        return payload
+
+
+@dataclass
+class FuzzOutcome:
+    """Everything one fuzz session learned."""
+
+    seed: int
+    budget: int
+    config_name: str
+    coverage: OpcodeCoverage
+    findings: List[Finding] = field(default_factory=list)
+    programs_run: int = 0
+    defect: Optional[str] = None
+    stopped_early: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "config": self.config_name,
+            "defect": self.defect,
+            "programs_run": self.programs_run,
+            "stopped_early": self.stopped_early,
+            "findings": [f.to_payload() for f in self.findings],
+            "coverage": self.coverage.to_payload(),
+        }
+
+
+def _injection(defect: Optional[str]):
+    return inject_defect(defect) if defect else contextlib.nullcontext()
+
+
+def run_fuzz(*, budget: int, seed: int,
+             config: CoreConfig = SMALL,
+             gen_config: GenConfig = GenConfig(),
+             metamorphic: bool = True,
+             do_shrink: bool = True,
+             defect: Optional[str] = None,
+             max_failures: int = DEFAULT_MAX_FAILURES,
+             simulate_fn: SimulateFn = simulate,
+             store: Optional[ArtifactStore] = None,
+             progress: Optional[Callable[[int, ProgramVerdict], None]]
+             = None) -> FuzzOutcome:
+    """Run one deterministic fuzz session.
+
+    *defect* names a :mod:`repro.verify.defects` entry to inject for the
+    whole session (the ``--self-check`` path: the oracle had better
+    catch it).  *store* persists failure artifacts when given; *progress*
+    is called after every program with ``(index, verdict)``.
+    """
+    generator = ProgramGenerator(seed, gen_config)
+    outcome = FuzzOutcome(seed=seed, budget=budget,
+                          config_name=config.name,
+                          coverage=OpcodeCoverage(), defect=defect)
+
+    for index in range(budget):
+        spec = generator.spec(index)
+        program = materialize(spec)
+        with _injection(defect):
+            verdict = check_program(program, config=config,
+                                    metamorphic=metamorphic,
+                                    simulate_fn=simulate_fn)
+        outcome.programs_run += 1
+        outcome.coverage.add_program(program, verdict.trace)
+        if progress is not None:
+            progress(index, verdict)
+        if verdict.ok:
+            continue
+
+        finding = Finding(spec=spec, verdict=verdict)
+        if do_shrink:
+            finding.shrunk = shrink_finding(
+                spec, verdict, config=config, defect=defect,
+                simulate_fn=simulate_fn)
+        outcome.findings.append(finding)
+        if store is not None:
+            store.write_failure(spec, verdict, config=config,
+                                shrunk=finding.shrunk, defect=defect)
+        if len(outcome.findings) >= max_failures:
+            outcome.stopped_early = index + 1 < budget
+            break
+
+    if store is not None:
+        store.write_session(outcome.to_payload())
+    return outcome
+
+
+def shrink_finding(spec: ProgramSpec, verdict: ProgramVerdict, *,
+                   config: CoreConfig = SMALL,
+                   defect: Optional[str] = None,
+                   simulate_fn: SimulateFn = simulate,
+                   max_evaluations: int = 1500) -> ShrinkResult:
+    """Shrink *spec* while preserving the kind of failure in *verdict*.
+
+    Metamorphic (timing-relation) checks run during shrinking only when
+    the original failure involved them — they cost five simulations per
+    candidate, and an arch-state divergence doesn't need them.
+    """
+    need_meta = any(d.check.startswith("meta.")
+                    for d in verdict.divergences)
+
+    def is_failing(candidate: ProgramSpec) -> bool:
+        with _injection(defect):
+            return not check_program(materialize(candidate),
+                                     config=config,
+                                     metamorphic=need_meta,
+                                     simulate_fn=simulate_fn).ok
+
+    return shrink(spec, is_failing, max_evaluations=max_evaluations)
+
+
+def check_spec(spec: ProgramSpec, *,
+               config: CoreConfig = SMALL,
+               metamorphic: bool = True,
+               defect: Optional[str] = None,
+               simulate_fn: SimulateFn = simulate) -> ProgramVerdict:
+    """Replay one spec through the full oracle (the ``replay`` verb)."""
+    with _injection(defect):
+        return check_program(materialize(spec), config=config,
+                             metamorphic=metamorphic,
+                             simulate_fn=simulate_fn)
+
+
+__all__ = ["DEFAULT_MAX_FAILURES", "Finding", "FuzzOutcome", "check_spec",
+           "run_fuzz", "shrink_finding"]

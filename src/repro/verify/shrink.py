@@ -1,0 +1,207 @@
+"""Delta-debugging shrinker: failing ProgramSpec → minimal reproducer.
+
+Shrinking operates on the **descriptor tree** (dict form of a
+:class:`~repro.verify.generator.ProgramSpec`), never on assembled
+instructions: any subset of descriptors re-materialises into a
+structurally valid program (labels, counters and HALT are synthesised
+by :func:`~repro.verify.generator.materialize`), so the shrinker needs
+no knowledge of branch targets.
+
+Passes, repeated to fixpoint under an evaluation budget:
+
+* **removal** — greedy ddmin-style chunk deletion over every body list
+  (top level and each loop/skip body), deepest lists first;
+* **unwrap** — replace a loop/skip wrapper by its body, and collapse
+  inner loop trip counts to 1;
+* **simplify** — outer trip count → 1, clear register/pool
+  initialisation, drop per-op ``s`` (flag-setting) and flexible-shift
+  decorations.
+
+Every candidate is accepted only if the caller's *is_failing* predicate
+still holds, so the reproducer provably preserves the original failure.
+A predicate that raises (e.g. a candidate that cannot materialise) is
+treated as "does not fail".
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .generator import ProgramSpec, materialize
+
+Predicate = Callable[[ProgramSpec], bool]
+_Path = Tuple[int, ...]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimised spec plus bookkeeping for reports."""
+
+    spec: ProgramSpec
+    evaluations: int
+    #: instruction count of the materialised reproducer (None when the
+    #: final spec unexpectedly fails to materialise)
+    instructions: Optional[int] = None
+
+
+def _get_body(d: Dict, path: _Path) -> List[Dict]:
+    items = d["body"]
+    for index in path:
+        items = items[index]["body"]
+    return items
+
+
+def _body_paths(d: Dict) -> List[_Path]:
+    """All body-list paths, DFS preorder (so reversed ⇒ deepest first)."""
+    out: List[_Path] = [()]
+
+    def walk(path: _Path) -> None:
+        for i, item in enumerate(_get_body(d, path)):
+            if item.get("kind") in ("loop", "skip"):
+                nested = path + (i,)
+                out.append(nested)
+                walk(nested)
+
+    walk(())
+    return out
+
+
+def shrink(spec: ProgramSpec, is_failing: Predicate, *,
+           max_evaluations: int = 1500) -> ShrinkResult:
+    """Reduce *spec* to a minimal spec still satisfying *is_failing*."""
+    evals = 0
+
+    def attempt(candidate: Dict) -> bool:
+        nonlocal evals
+        if evals >= max_evaluations:
+            return False
+        evals += 1
+        try:
+            return bool(is_failing(
+                ProgramSpec.from_dict(copy.deepcopy(candidate))))
+        except Exception:
+            return False
+
+    base = spec.to_dict()
+    if not attempt(base):
+        raise ValueError(
+            f"spec {spec.name!r} does not satisfy the failure predicate")
+
+    progress = True
+    while progress and evals < max_evaluations:
+        progress = False
+        for sweep in (_removal_sweep, _unwrap_sweep, _simplify_sweep):
+            base, changed = sweep(base, attempt)
+            progress = progress or changed
+
+    final = ProgramSpec.from_dict(base)
+    try:
+        instructions: Optional[int] = len(materialize(final).instructions)
+    except Exception:
+        instructions = None
+    return ShrinkResult(spec=final, evaluations=evals,
+                        instructions=instructions)
+
+
+# ---------------------------------------------------------------------------
+# passes
+# ---------------------------------------------------------------------------
+
+def _shrink_list(base: Dict, path: _Path,
+                 attempt: Callable[[Dict], bool]) -> Tuple[Dict, bool]:
+    """Greedy chunked deletion over one body list."""
+    changed = False
+    chunk = max(1, len(_get_body(base, path)) // 2)
+    while chunk >= 1:
+        i = 0
+        while i < len(_get_body(base, path)):
+            candidate = copy.deepcopy(base)
+            del _get_body(candidate, path)[i:i + chunk]
+            if attempt(candidate):
+                base = candidate
+                changed = True      # stay at i: the list shifted left
+            else:
+                i += chunk
+        chunk //= 2
+    return base, changed
+
+
+def _removal_sweep(base: Dict,
+                   attempt: Callable[[Dict], bool]) -> Tuple[Dict, bool]:
+    changed_any = False
+    dirty = True
+    while dirty:
+        dirty = False
+        # deepest first: deleting inside a nested body never invalidates
+        # outer paths; any change still restarts with fresh paths
+        for path in reversed(_body_paths(base)):
+            base, changed = _shrink_list(base, path, attempt)
+            if changed:
+                changed_any = dirty = True
+                break
+    return base, changed_any
+
+
+def _unwrap_sweep(base: Dict,
+                  attempt: Callable[[Dict], bool]) -> Tuple[Dict, bool]:
+    changed_any = False
+    dirty = True
+    while dirty:
+        dirty = False
+        for path in _body_paths(base):
+            for i, item in enumerate(_get_body(base, path)):
+                if item.get("kind") not in ("loop", "skip"):
+                    continue
+                candidate = copy.deepcopy(base)
+                items = _get_body(candidate, path)
+                items[i:i + 1] = copy.deepcopy(item.get("body", []))
+                if attempt(candidate):
+                    base = candidate
+                    changed_any = dirty = True
+                    break
+                if item.get("kind") == "loop" and item.get("iters", 1) > 1:
+                    candidate = copy.deepcopy(base)
+                    _get_body(candidate, path)[i]["iters"] = 1
+                    if attempt(candidate):
+                        base = candidate
+                        changed_any = dirty = True
+                        break
+            if dirty:
+                break
+    return base, changed_any
+
+
+def _simplify_sweep(base: Dict,
+                    attempt: Callable[[Dict], bool]) -> Tuple[Dict, bool]:
+    changed_any = False
+
+    def try_mutation(mutate: Callable[[Dict], None]) -> None:
+        nonlocal base, changed_any
+        candidate = copy.deepcopy(base)
+        mutate(candidate)
+        if candidate != base and attempt(candidate):
+            base = candidate
+            changed_any = True
+
+    try_mutation(lambda d: d.update(iters=1))
+    try_mutation(lambda d: d.update(init_regs={}))
+    try_mutation(lambda d: d.update(pool_words=[]))
+    for token in sorted(base.get("init_regs", {})):
+        try_mutation(lambda d, t=token: d["init_regs"].pop(t, None))
+    for path in _body_paths(base):
+        for i, item in enumerate(_get_body(base, path)):
+            if item.get("s"):
+                try_mutation(
+                    lambda d, p=path, j=i: _get_body(d, p)[j].pop("s"))
+            if item.get("shift"):
+                def drop_shift(d: Dict, p: _Path = path, j: int = i) -> None:
+                    op = _get_body(d, p)[j]
+                    op.pop("shift", None)
+                    op.pop("shift_amt", None)
+                try_mutation(drop_shift)
+    return base, changed_any
+
+
+__all__ = ["Predicate", "ShrinkResult", "shrink"]

@@ -1,0 +1,28 @@
+"""Shared pytest configuration: hypothesis profiles.
+
+CI runs with ``HYPOTHESIS_PROFILE=ci``: derandomized (fixed seed, so a
+red build is reproducible locally), an explicit example budget, and no
+per-example deadline — the simulator's first example can be orders of
+magnitude slower than the rest (cold LUTs), which trips wall-clock
+deadlines on shared runners.  Local runs keep hypothesis' random
+exploration.  Per-test ``@settings`` still override individual fields.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    max_examples=25,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

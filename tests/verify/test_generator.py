@@ -1,0 +1,114 @@
+"""Tests for the seeded program generator and coverage accounting."""
+
+import pytest
+
+from repro.isa.interpreter import run_program
+from repro.isa.opcodes import Opcode
+from repro.pipeline.trace import generate_trace
+from repro.verify.generator import (
+    LoopSpec,
+    OpSpec,
+    OpcodeCoverage,
+    ProgramGenerator,
+    ProgramSpec,
+    materialize,
+    reachable_opcodes,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_specs(self):
+        a = ProgramGenerator(42)
+        b = ProgramGenerator(42)
+        for i in range(10):
+            assert a.spec(i).to_dict() == b.spec(i).to_dict()
+
+    def test_different_seeds_differ(self):
+        assert (ProgramGenerator(0).spec(0).to_dict()
+                != ProgramGenerator(1).spec(0).to_dict())
+
+    def test_index_isolation(self):
+        # spec(i) must not depend on whether spec(i-1) was generated
+        gen = ProgramGenerator(7)
+        direct = gen.spec(5).to_dict()
+        fresh = ProgramGenerator(7).spec(5).to_dict()
+        assert direct == fresh
+
+
+class TestPrograms:
+    def test_generated_programs_terminate_and_agree_with_golden(self):
+        gen = ProgramGenerator(0)
+        for i in range(25):
+            program = gen.program(i)
+            golden = run_program(program)
+            trace = generate_trace(program, max_instructions=500_000)
+            assert golden.halted
+            assert golden.arch_state() == trace.arch_state()
+            assert golden.instructions == len(trace.entries)
+
+    def test_every_opcode_reachable(self):
+        assert set(reachable_opcodes()) == set(Opcode)
+
+    def test_full_coverage_within_200_programs(self):
+        gen = ProgramGenerator(0)
+        coverage = OpcodeCoverage()
+        for i in range(200):
+            program = gen.program(i)
+            coverage.add_program(
+                program, generate_trace(program,
+                                        max_instructions=500_000))
+        assert coverage.missing_static() == []
+        assert coverage.missing_dynamic() == []
+        assert coverage.static_fraction == 1.0
+
+
+class TestMaterialize:
+    def test_single_op_spec_is_minimal(self):
+        spec = ProgramSpec(name="tiny", seed="t", body=[
+            OpSpec(op="EOR", rd="r1", rn="r2", imm=3)])
+        program = materialize(spec)
+        assert len(program.instructions) <= 10
+
+    def test_roundtrip_through_dict(self):
+        gen = ProgramGenerator(3)
+        for i in range(5):
+            spec = gen.spec(i)
+            clone = ProgramSpec.from_dict(spec.to_dict())
+            assert ([repr(x) for x in materialize(spec).instructions]
+                    == [repr(x) for x in materialize(clone).instructions])
+
+    def test_nested_counted_loops_rejected(self):
+        spec = ProgramSpec(name="bad", seed="b", body=[
+            LoopSpec(iters=2, body=[
+                LoopSpec(iters=2, body=[OpSpec(op="NOP")])])])
+        with pytest.raises(ValueError, match="nested inner loops"):
+            materialize(spec)
+
+    def test_outer_loop_multiplies_dynamic_count(self):
+        body = [OpSpec(op="ADD", rd="r0", rn="r0", imm=1)]
+        once = ProgramSpec(name="x1", seed="", iters=1, body=list(body))
+        four = ProgramSpec(name="x4", seed="", iters=4, body=list(body))
+        n1 = len(generate_trace(materialize(once)).entries)
+        n4 = len(generate_trace(materialize(four)).entries)
+        assert n4 > n1
+        final = generate_trace(materialize(four)).final_regs
+        assert final["int"][0] == 4
+
+
+class TestCoverageAccounting:
+    def test_payload_and_render(self):
+        coverage = OpcodeCoverage()
+        program = ProgramGenerator(0).program(0)
+        trace = generate_trace(program)
+        coverage.add_program(program, trace)
+        payload = coverage.to_payload()
+        assert payload["programs"] == 1
+        assert payload["dynamic_instructions"] == len(trace.entries)
+        assert sum(payload["static"].values()) == len(
+            program.instructions)
+        assert "opcode coverage" in coverage.render()
+
+    def test_missing_tracked(self):
+        coverage = OpcodeCoverage()
+        assert len(coverage.missing_static()) == len(list(Opcode))
+        assert coverage.static_fraction == 0.0

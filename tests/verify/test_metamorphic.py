@@ -1,0 +1,79 @@
+"""Tests for the metamorphic timing relations."""
+
+import pytest
+
+from repro.core.config import SMALL
+from repro.pipeline.trace import generate_trace
+from repro.verify.generator import ProgramGenerator
+from repro.verify.metamorphic import (
+    COARSE_CI_LABEL,
+    CYCLE_SLOP,
+    CYCLE_TOLERANCE,
+    EGPW_OFF_LABEL,
+    check_timing_relations,
+    within_bound,
+)
+
+
+def _refuse_to_simulate(trace, config):  # pragma: no cover - guard
+    raise AssertionError("relation check should not have simulated")
+
+
+def full_cycles(**overrides):
+    """A fully pre-populated cycles dict (no simulation needed)."""
+    cycles = {"baseline": 100, "redsoc": 90, "mos": 95,
+              EGPW_OFF_LABEL: 95, COARSE_CI_LABEL: 92}
+    cycles.update(overrides)
+    return cycles
+
+
+class TestBound:
+    def test_within_bound_semantics(self):
+        assert within_bound(100, 100)
+        assert within_bound(int(100 * CYCLE_TOLERANCE) + CYCLE_SLOP, 100)
+        assert not within_bound(200, 100)
+
+    def test_slop_covers_tiny_programs(self):
+        # a 3-cycle run may be "worse" by a few absolute cycles
+        assert within_bound(CYCLE_SLOP, 0)
+
+
+class TestRelationsOnRealTraces:
+    @pytest.mark.parametrize("index", [0, 5, 9])
+    def test_generated_programs_satisfy_all_relations(self, index):
+        trace = generate_trace(ProgramGenerator(0).program(index))
+        cycles = {}
+        assert check_timing_relations(trace, SMALL, cycles) == []
+        # the variant runs were recorded for the report
+        assert EGPW_OFF_LABEL in cycles
+        assert COARSE_CI_LABEL in cycles
+
+
+class TestRelationViolations:
+    def test_recycling_slowdown_flagged(self):
+        trace = generate_trace(ProgramGenerator(0).program(0))
+        cycles = full_cycles(redsoc=500, **{EGPW_OFF_LABEL: 600})
+        out = check_timing_relations(trace, SMALL, cycles,
+                                     simulate_fn=_refuse_to_simulate)
+        assert any(d.check == "meta.recycling" for d in out)
+
+    def test_egpw_speedup_from_disabling_flagged(self):
+        trace = generate_trace(ProgramGenerator(0).program(0))
+        # ablated run much faster than the full design: impossible
+        cycles = full_cycles(**{EGPW_OFF_LABEL: 40})
+        out = check_timing_relations(trace, SMALL, cycles,
+                                     simulate_fn=_refuse_to_simulate)
+        assert [d.check for d in out] == ["meta.egpw"]
+
+    def test_coarse_precision_win_flagged(self):
+        trace = generate_trace(ProgramGenerator(0).program(0))
+        cycles = full_cycles(**{COARSE_CI_LABEL: 40})
+        out = check_timing_relations(trace, SMALL, cycles,
+                                     simulate_fn=_refuse_to_simulate)
+        assert [d.check for d in out] == ["meta.precision"]
+
+    def test_all_good_is_silent(self):
+        trace = generate_trace(ProgramGenerator(0).program(0))
+        out = check_timing_relations(trace, SMALL, full_cycles(),
+                                     simulate_fn=_refuse_to_simulate)
+        assert out == []

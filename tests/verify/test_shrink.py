@@ -1,0 +1,103 @@
+"""Tests for the delta-debugging shrinker."""
+
+import pytest
+
+from repro.isa.opcodes import Opcode
+from repro.verify.defects import inject_defect
+from repro.verify.generator import (
+    LoopSpec,
+    OpSpec,
+    ProgramGenerator,
+    ProgramSpec,
+    SkipSpec,
+    materialize,
+)
+from repro.verify.oracle import check_program
+from repro.verify.shrink import shrink
+
+
+def contains_op(spec: ProgramSpec, name: str) -> bool:
+    return any(instr.op is Opcode[name]
+               for instr in materialize(spec).instructions)
+
+
+class TestStructuralShrinking:
+    def test_reduces_to_single_relevant_item(self):
+        gen = ProgramGenerator(11)
+        spec = gen.spec(0)
+        spec.body.append(OpSpec(op="EOR", rd="r0", rn="r1", imm=7))
+        result = shrink(spec, lambda s: contains_op(s, "EOR"))
+        assert contains_op(result.spec, "EOR")
+        assert result.instructions <= 10
+        assert result.evaluations > 0
+
+    def test_unwraps_control_structure(self):
+        spec = ProgramSpec(name="wrapped", seed="", iters=4, body=[
+            SkipSpec(cond="al", link=True, body=[
+                OpSpec(op="EOR", rd="r0", rn="r1", imm=7)]),
+            LoopSpec(iters=3, body=[OpSpec(op="ADD", rd="r2",
+                                           rn="r2", imm=1)]),
+        ])
+        result = shrink(spec, lambda s: contains_op(s, "EOR"))
+        # the loop is gone, the skip wrapper unwrapped, the outer trip
+        # count collapsed: just init + eor + halt remain
+        assert [type(item) for item in result.spec.body] == [OpSpec]
+        assert result.spec.iters == 1
+        assert not contains_op(result.spec, "BL")
+
+    def test_simplify_drops_decorations(self):
+        spec = ProgramSpec(
+            name="decorated", seed="",
+            init_regs={"r0": 7, "r1": 9},
+            body=[OpSpec(op="EOR", rd="r0", rn="r1", rm="r2",
+                         shift="lsl", shift_amt=4, s=True)])
+        result = shrink(spec, lambda s: contains_op(s, "EOR"))
+        [op] = result.spec.body
+        assert op.s is False
+        assert op.shift is None
+        assert result.spec.init_regs == {}
+
+    def test_non_failing_spec_rejected(self):
+        spec = ProgramGenerator(0).spec(0)
+        with pytest.raises(ValueError, match="does not satisfy"):
+            shrink(spec, lambda s: False)
+
+    def test_predicate_exceptions_treated_as_not_failing(self):
+        spec = ProgramSpec(name="raises", seed="", body=[
+            OpSpec(op="EOR", rd="r0", rn="r1", imm=1),
+            OpSpec(op="ADD", rd="r2", rn="r3", imm=1)])
+
+        def picky(candidate: ProgramSpec) -> bool:
+            if not contains_op(candidate, "EOR"):
+                raise RuntimeError("boom")
+            return True
+
+        result = shrink(spec, picky)
+        assert contains_op(result.spec, "EOR")
+
+    def test_respects_evaluation_budget(self):
+        spec = ProgramGenerator(0).spec(0)
+        result = shrink(spec, lambda s: True, max_evaluations=5)
+        assert result.evaluations <= 5
+
+
+class TestEndToEndReproducers:
+    def test_injected_defect_shrinks_to_tiny_reproducer(self):
+        def fails(spec: ProgramSpec) -> bool:
+            with inject_defect("eor-lsb"):
+                return not check_program(materialize(spec),
+                                         metamorphic=False).ok
+
+        gen = ProgramGenerator(0)
+        for i in range(40):
+            spec = gen.spec(i)
+            if not fails(spec):
+                continue
+            original = len(materialize(spec).instructions)
+            result = shrink(spec, fails)
+            assert result.instructions is not None
+            assert result.instructions <= 10
+            assert result.instructions < original
+            assert fails(result.spec)  # reproducer still reproduces
+            return
+        pytest.fail("no failing program found to shrink")
