@@ -22,12 +22,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from dataclasses import asdict, fields, is_dataclass
 from enum import Enum
 from pathlib import Path
 from typing import Any, Dict, Optional
+
+LOG = logging.getLogger(__name__)
 
 from repro.analysis.stats import OpDistribution, SimStats
 from repro.core.config import CoreConfig
@@ -191,38 +194,84 @@ def payload_to_result(payload: Dict[str, Any],
 
 
 class ResultCache:
-    """JSON-per-key result store with hit/miss accounting."""
+    """JSON-per-key result store with hit/miss/corruption accounting.
 
-    def __init__(self, root: Optional[Path] = None) -> None:
+    The cache directory is shared between campaign runs and the serve
+    daemon's worker processes, so reads must tolerate anything another
+    writer (or a crash) can leave behind: a torn or truncated entry, a
+    non-JSON blob, a payload of the wrong shape.  All of those are
+    treated as misses, counted in ``corrupt``, surfaced through the
+    optional *metrics* registry (``cache.corrupt_entries``) and the
+    module logger, and the offending file is unlinked so the next
+    write replaces it cleanly.
+    """
+
+    def __init__(self, root: Optional[Path] = None, *,
+                 metrics=None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self.metrics = metrics
 
     def path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """Load a payload, counting the probe as a hit or miss."""
-        path = self.path(key)
+    def _note_corrupt(self, path: Path, reason: str) -> None:
+        self.corrupt += 1
+        if self.metrics is not None:
+            self.metrics.counter("cache.corrupt_entries").inc()
+        LOG.warning("corrupt cache entry %s (%s); treating as a miss",
+                    path, reason)
+        try:
+            path.unlink()
+        except OSError:
+            pass    # another reader may have unlinked it already
+
+    def _load(self, path: Path) -> Optional[Dict[str, Any]]:
+        """Read one JSON-object file; corrupt entries become ``None``."""
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
-        except (OSError, json.JSONDecodeError):
-            self.misses += 1
+        except FileNotFoundError:
             return None
-        if payload.get("schema") != PAYLOAD_SCHEMA:
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError) \
+                as exc:
+            self._note_corrupt(path, f"{type(exc).__name__}: {exc}")
+            return None
+        except OSError as exc:      # unreadable, not provably corrupt
+            LOG.warning("unreadable cache entry %s (%s)", path, exc)
+            return None
+        if not isinstance(payload, dict):
+            self._note_corrupt(
+                path, f"expected a JSON object, got "
+                      f"{type(payload).__name__}")
+            return None
+        return payload
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load a payload, counting the probe as a hit or miss."""
+        payload = self._load(self.path(key))
+        if payload is None or payload.get("schema") != PAYLOAD_SCHEMA:
             self.misses += 1
             return None
         self.hits += 1
         return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
-        """Atomically persist *payload* under *key*."""
+        """Atomically persist *payload* under *key*.
+
+        Write-to-tempfile + ``os.replace`` + an ``fsync`` before the
+        rename: concurrent readers either see the old entry or the
+        complete new one, never a torn write — even across a crash.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, self.path(key))
         except BaseException:
             try:
@@ -242,12 +291,15 @@ class ResultCache:
         return self.root / "traces" / f"{tkey}.json"
 
     def get_trace_fingerprint(self, tkey: str) -> Optional[str]:
-        try:
-            with open(self.trace_index_path(tkey), "r",
-                      encoding="utf-8") as fh:
-                return json.load(fh)["fingerprint"]
-        except (OSError, json.JSONDecodeError, KeyError):
+        path = self.trace_index_path(tkey)
+        payload = self._load(path)
+        if payload is None:
             return None
+        fingerprint = payload.get("fingerprint")
+        if not isinstance(fingerprint, str):
+            self._note_corrupt(path, "index entry has no fingerprint")
+            return None
+        return fingerprint
 
     def put_trace_fingerprint(self, tkey: str, fingerprint: str) -> None:
         index_dir = self.root / "traces"
@@ -256,6 +308,8 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump({"fingerprint": fingerprint}, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, self.trace_index_path(tkey))
         except BaseException:
             try:

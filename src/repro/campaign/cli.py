@@ -242,7 +242,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
               f"(run `python -m repro.campaign run` first)",
               file=sys.stderr)
         return 2
-    print(render_summary(load_campaign_json(args.input)))
+    try:
+        payload = load_campaign_json(args.input)
+        summary = render_summary(payload)
+    except (OSError, ValueError, KeyError, TypeError,
+            AttributeError) as exc:
+        # empty file, torn write, or a document of the wrong shape:
+        # one line on stderr, not a traceback
+        print(f"error: {args.input} is not a readable campaign JSON "
+              f"({type(exc).__name__}: {exc})", file=sys.stderr)
+        return 2
+    print(summary)
     return 0
 
 

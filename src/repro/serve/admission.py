@@ -1,0 +1,188 @@
+"""Bounded priority admission queue with single-flight deduplication.
+
+The daemon accepts work through exactly one funnel:
+
+* a **bounded queue** per priority class — when the total backlog hits
+  ``max_depth`` the submit raises :class:`QueueFull` (HTTP 429 with a
+  ``Retry-After`` hint) instead of letting latency grow without bound;
+* **drain mode** — once SIGTERM flips the queue into draining, new
+  submissions raise :class:`Draining` (HTTP 503) while everything
+  already admitted runs to completion;
+* **single-flight dedup** — identical requests (same work fingerprint)
+  in flight at the same time share one execution and one result, so a
+  thundering herd on a cold cache key costs one simulation, not N
+  (cache-stampede protection);
+* **cooperative deadlines** — every ticket carries an absolute expiry;
+  the dispatcher discards tickets that died waiting in the queue
+  without executing them, which is what keeps an overloaded daemon
+  from doing work nobody is waiting for any more.
+
+The queue is consumed by dispatcher tasks (see :mod:`repro.serve.app`)
+via :meth:`AdmissionQueue.next_ticket`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from collections import deque
+
+from repro.obs import MetricsRegistry
+
+from .protocol import BaseSpec, Priority
+
+
+class QueueFull(Exception):
+    """Backlog at capacity — reject with 429 + Retry-After."""
+
+
+class Draining(Exception):
+    """Daemon is shutting down — reject with 503."""
+
+
+@dataclass
+class Ticket:
+    """One admitted request waiting for (or undergoing) execution."""
+
+    spec: BaseSpec
+    future: "asyncio.Future"
+    enqueued_at: float = field(default_factory=time.monotonic)
+    #: absolute monotonic expiry; the dispatcher skips dead tickets
+    expires_at: float = 0.0
+    #: flipped when the waiting handler gave up (timeout / disconnect)
+    abandoned: bool = False
+
+    def __post_init__(self) -> None:
+        if self.expires_at == 0.0:
+            self.expires_at = (self.enqueued_at
+                               + self.spec.deadline_ms / 1000.0)
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    @property
+    def remaining_s(self) -> float:
+        return max(0.0, self.expires_at - time.monotonic())
+
+
+class AdmissionQueue:
+    """Priority FIFO with bounded depth and in-flight dedup."""
+
+    def __init__(self, max_depth: int = 256, *,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.max_depth = max_depth
+        self.metrics = metrics or MetricsRegistry()
+        self._queues: Dict[Priority, Deque[Ticket]] = {
+            p: deque() for p in Priority}
+        #: lazily bound — creating an asyncio.Event off-loop breaks 3.9
+        self._available_event: Optional[asyncio.Event] = None
+        self._draining = False
+        #: work fingerprint -> leader ticket (single-flight map)
+        self._inflight: Dict[str, Ticket] = {}
+
+    @property
+    def _available(self) -> asyncio.Event:
+        if self._available_event is None:
+            self._available_event = asyncio.Event()
+        return self._available_event
+
+    # -- submission ----------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def submit(self, spec: BaseSpec) -> Ticket:
+        """Admit *spec*; returns its ticket (possibly a shared leader).
+
+        Raises :class:`Draining` or :class:`QueueFull`.  When an
+        identical request is already in flight the existing leader
+        ticket is returned and nothing new is enqueued — the caller
+        just awaits the shared future.
+        """
+        if self._draining:
+            self.metrics.counter("serve.rejected_draining").inc()
+            raise Draining("daemon is draining; retry against a "
+                           "fresh instance")
+
+        fingerprint = spec.fingerprint
+        leader = self._inflight.get(fingerprint)
+        if leader is not None and not leader.future.done() \
+                and not leader.abandoned:
+            self.metrics.counter("serve.singleflight_coalesced").inc()
+            return leader
+
+        if self.depth >= self.max_depth:
+            self.metrics.counter("serve.rejected_queue_full").inc()
+            raise QueueFull(f"admission queue at capacity "
+                            f"({self.max_depth})")
+
+        loop = asyncio.get_running_loop()
+        ticket = Ticket(spec=spec, future=loop.create_future())
+        self._inflight[fingerprint] = ticket
+        ticket.future.add_done_callback(
+            lambda _fut, fp=fingerprint, t=ticket:
+            self._forget(fp, t))
+        self._queues[spec.priority].append(ticket)
+        self.metrics.counter("serve.admitted").inc()
+        self.metrics.gauge("serve.queue_depth").set(self.depth)
+        self._available.set()
+        return ticket
+
+    def _forget(self, fingerprint: str, ticket: Ticket) -> None:
+        if self._inflight.get(fingerprint) is ticket:
+            del self._inflight[fingerprint]
+
+    # -- consumption ---------------------------------------------------
+
+    async def next_ticket(self) -> Optional[Ticket]:
+        """Pop the next live ticket (interactive before batch).
+
+        Expired / abandoned tickets are resolved with ``None`` result
+        markers by failing their futures here, not executed.  Returns
+        ``None`` when the queue is draining *and* empty — the
+        dispatcher's signal to exit.
+        """
+        while True:
+            for priority in Priority:   # declaration order = rank
+                queue = self._queues[priority]
+                while queue:
+                    ticket = queue.popleft()
+                    self.metrics.gauge("serve.queue_depth") \
+                        .set(self.depth)
+                    if ticket.future.done() or ticket.abandoned:
+                        continue
+                    if ticket.expired:
+                        self.metrics.counter(
+                            "serve.expired_in_queue").inc()
+                        if not ticket.future.done():
+                            ticket.future.cancel()
+                        continue
+                    self.metrics.histogram("serve.queue_wait_us") \
+                        .observe(int((time.monotonic()
+                                      - ticket.enqueued_at) * 1e6))
+                    return ticket
+            if self._draining:
+                return None
+            self._available.clear()
+            if self.depth == 0:
+                await self._available.wait()
+
+    # -- drain ---------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        self._draining = True
+        self._available.set()   # wake idle dispatchers so they can exit
+
+    async def join(self, poll_s: float = 0.01) -> None:
+        """Wait until every admitted ticket has been resolved."""
+        while self.depth or self._inflight:
+            await asyncio.sleep(poll_s)

@@ -1,0 +1,308 @@
+"""Sync + async SDK for the serve daemon.
+
+Both clients speak the same retry discipline:
+
+* **retryable**: connection errors, 429 (queue full) and 503
+  (draining) — jittered exponential backoff, bounded by the caller's
+  deadline;
+* **not retryable**: 400s (the request is wrong), 404, 500 (the
+  daemon already retried crashed workers internally), 504 (the
+  deadline the server honoured is the one we sent).
+
+:class:`ServeClient` wraps :mod:`http.client` with a persistent
+keep-alive connection — convenient for scripts and the CLI.
+:class:`AsyncServeClient` speaks HTTP/1.1 over raw asyncio streams and
+is what the load generator multiplexes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import random
+import socket
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .protocol import API_VERSION
+
+RETRYABLE_STATUSES = (429, 503)
+DEFAULT_TIMEOUT_S = 60.0
+
+
+class ServeError(Exception):
+    """Non-2xx response (after retries were exhausted, if any)."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"HTTP {status} [{code}]: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+def _raise_for(status: int, payload: Dict[str, Any]) -> None:
+    raise ServeError(status, payload.get("error", "unknown"),
+                     payload.get("message", ""))
+
+
+def _backoff_s(attempt: int, rng: random.Random, *,
+               base: float = 0.05, cap: float = 2.0) -> float:
+    return min(cap, base * (2 ** attempt)) * (0.5 + rng.random())
+
+
+class ServeClient:
+    """Synchronous client with keep-alive, retries and deadlines."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787, *,
+                 timeout_s: float = DEFAULT_TIMEOUT_S,
+                 max_retries: int = 3,
+                 seed: Optional[int] = None) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self._rng = random.Random(seed)
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport -----------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _once(self, method: str, path: str,
+              body: Optional[Dict[str, Any]]
+              ) -> Tuple[int, Dict[str, Any]]:
+        conn = self._connection()
+        data = json.dumps(body).encode() if body is not None else None
+        headers = {"content-type": "application/json"} if data else {}
+        conn.request(method, path, body=data, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = {"error": "bad-payload",
+                       "message": raw[:200].decode("latin-1")}
+        return response.status, payload
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None, *,
+                deadline_s: Optional[float] = None) -> Dict[str, Any]:
+        """One API call with retry/backoff under a deadline."""
+        expiry = time.monotonic() + (deadline_s if deadline_s is not None
+                                     else self.timeout_s)
+        last: Optional[Exception] = None
+        for attempt in range(self.max_retries + 1):
+            if time.monotonic() >= expiry:
+                break
+            try:
+                status, payload = self._once(method, path, body)
+            except (http.client.HTTPException, ConnectionError,
+                    socket.timeout, OSError) as exc:
+                self.close()    # stale keep-alive socket; reconnect
+                last = exc
+            else:
+                if status < 400:
+                    return payload
+                if status not in RETRYABLE_STATUSES \
+                        or attempt >= self.max_retries:
+                    _raise_for(status, payload)
+                last = ServeError(status, payload.get("error", ""),
+                                  payload.get("message", ""))
+            delay = _backoff_s(attempt, self._rng)
+            delay = min(delay, max(0.0, expiry - time.monotonic()))
+            time.sleep(delay)
+        if isinstance(last, ServeError):
+            raise last
+        raise ServeError(0, "unreachable",
+                         f"no response from {self.host}:{self.port}"
+                         f" ({last})")
+
+    # -- API surface ---------------------------------------------------
+
+    def simulate(self, *, suite: Optional[str] = None,
+                 bench: Optional[str] = None,
+                 asm: Optional[str] = None,
+                 program: Optional[Dict[str, Any]] = None,
+                 core: str = "small", mode: str = "baseline",
+                 scale: Optional[int] = None,
+                 **extra: Any) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"api": API_VERSION, "core": core,
+                                "mode": mode}
+        if suite is not None:
+            body.update(suite=suite, bench=bench)
+        if scale is not None:
+            body["scale"] = scale
+        if asm is not None:
+            body["asm"] = asm
+        if program is not None:
+            body["program"] = program
+        body.update(extra)
+        return self.request("POST", "/v1/simulate", body)
+
+    def sweep(self, *, cores: Optional[List[str]] = None,
+              modes: Optional[List[str]] = None,
+              **workload: Any) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"api": API_VERSION}
+        if cores is not None:
+            body["cores"] = cores
+        if modes is not None:
+            body["modes"] = modes
+        body.update(workload)
+        return self.request("POST", "/v1/sweep", body)
+
+    def verify(self, *, seed: int = 0, budget: int = 10,
+               core: str = "small", **extra: Any) -> Dict[str, Any]:
+        body = {"api": API_VERSION, "seed": seed, "budget": budget,
+                "core": core}
+        body.update(extra)
+        return self.request("POST", "/v1/verify", body)
+
+    def status(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/status")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        conn = self._connection()
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        return response.read().decode("utf-8")
+
+
+class AsyncServeClient:
+    """Asyncio client over one persistent HTTP/1.1 connection.
+
+    Not task-safe by design: the load generator opens one client per
+    in-flight lane, which is also how you measure a service honestly.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787, *,
+                 timeout_s: float = DEFAULT_TIMEOUT_S,
+                 max_retries: int = 3,
+                 seed: Optional[int] = None) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self._rng = random.Random(seed)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def _once(self, method: str, path: str,
+                    body: Optional[Dict[str, Any]]
+                    ) -> Tuple[int, Dict[str, Any]]:
+        await self._connect()
+        assert self._reader is not None and self._writer is not None
+        data = json.dumps(body).encode() if body is not None else b""
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"host: {self.host}:{self.port}\r\n"
+                f"content-type: application/json\r\n"
+                f"content-length: {len(data)}\r\n"
+                f"\r\n").encode("latin-1")
+        self._writer.write(head + data)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("latin-1").split(maxsplit=2)
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection") == "close":
+            await self.close()
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = {"error": "bad-payload",
+                       "message": raw[:200].decode("latin-1")}
+        return status, payload
+
+    async def request(self, method: str, path: str,
+                      body: Optional[Dict[str, Any]] = None, *,
+                      deadline_s: Optional[float] = None,
+                      retries: Optional[int] = None) -> Dict[str, Any]:
+        expiry = time.monotonic() + (deadline_s
+                                     if deadline_s is not None
+                                     else self.timeout_s)
+        max_retries = self.max_retries if retries is None else retries
+        last: Optional[Exception] = None
+        for attempt in range(max_retries + 1):
+            remaining = expiry - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                status, payload = await asyncio.wait_for(
+                    self._once(method, path, body), timeout=remaining)
+            except (ConnectionError, asyncio.IncompleteReadError,
+                    asyncio.TimeoutError, OSError) as exc:
+                await self.close()
+                last = exc
+                if isinstance(exc, asyncio.TimeoutError):
+                    break       # deadline spent; don't burn more time
+            else:
+                if status < 400:
+                    return payload
+                if status not in RETRYABLE_STATUSES \
+                        or attempt >= max_retries:
+                    _raise_for(status, payload)
+                last = ServeError(status, payload.get("error", ""),
+                                  payload.get("message", ""))
+            delay = min(_backoff_s(attempt, self._rng),
+                        max(0.0, expiry - time.monotonic()))
+            await asyncio.sleep(delay)
+        if isinstance(last, ServeError):
+            raise last
+        raise ServeError(0, "unreachable",
+                         f"no response from {self.host}:{self.port}"
+                         f" ({last})")
+
+    async def raw_status(self, method: str, path: str,
+                         body: Optional[Dict[str, Any]] = None
+                         ) -> Tuple[int, Dict[str, Any]]:
+        """One attempt, no retries — the load generator's probe."""
+        return await self._once(method, path, body)

@@ -1,0 +1,228 @@
+"""Minimal asyncio HTTP/1.1 server (stdlib only).
+
+Just enough HTTP for a JSON API: request line + headers +
+``Content-Length`` bodies, keep-alive by default, bounded line/header/
+body sizes, and per-connection bookkeeping so the daemon can drain
+gracefully (stop accepting, let in-flight requests finish, then close
+idle connections).
+
+Not implemented on purpose: chunked transfer encoding, pipelining
+beyond sequential keep-alive, TLS, HTTP/2.  Clients that need those
+are holding the simulator wrong.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, Optional, Set
+
+#: request-line / single-header byte cap
+MAX_LINE = 8 * 1024
+MAX_HEADERS = 64
+DEFAULT_MAX_BODY = 512 * 1024
+
+REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpProtocolError(Exception):
+    """Malformed request framing (connection is closed after 400)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        """Decode the body as JSON (raises ``HttpProtocolError`` 400)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpProtocolError(400,
+                                    f"body is not valid JSON: {exc}") \
+                from exc
+
+
+@dataclass
+class HttpResponse:
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, payload: Any, status: int = 200,
+             headers: Optional[Dict[str, str]] = None) -> "HttpResponse":
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        return cls(status=status, body=body,
+                   headers=dict(headers or {}))
+
+    @classmethod
+    def text(cls, text: str, status: int = 200) -> "HttpResponse":
+        return cls(status=status, body=text.encode(),
+                   content_type="text/plain; version=0.0.4")
+
+
+Handler = Callable[[HttpRequest], Awaitable[HttpResponse]]
+
+
+async def read_request(reader: asyncio.StreamReader, *,
+                       max_body: int = DEFAULT_MAX_BODY
+                       ) -> Optional[HttpRequest]:
+    """Read one request; ``None`` on clean EOF before the first byte."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not line:
+        return None
+    if len(line) > MAX_LINE:
+        raise HttpProtocolError(400, "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpProtocolError(400, f"malformed request line: "
+                                     f"{line[:80]!r}")
+    method, target, _version = parts
+    path = target.split("?", 1)[0]
+
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADERS + 1):
+        line = await reader.readline()
+        if len(line) > MAX_LINE:
+            raise HttpProtocolError(400, "header line too long")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpProtocolError(400, f"malformed header: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpProtocolError(400, "too many headers")
+
+    if "transfer-encoding" in headers:
+        raise HttpProtocolError(400, "chunked bodies are not supported")
+    length_raw = headers.get("content-length", "0")
+    try:
+        length = int(length_raw)
+    except ValueError:
+        raise HttpProtocolError(400, f"bad content-length "
+                                     f"{length_raw!r}") from None
+    if length < 0 or length > max_body:
+        raise HttpProtocolError(413, f"body of {length} bytes exceeds "
+                                     f"the {max_body}-byte limit")
+    body = await reader.readexactly(length) if length else b""
+    return HttpRequest(method=method, path=path, headers=headers,
+                       body=body)
+
+
+def render_response(resp: HttpResponse, *, keep_alive: bool) -> bytes:
+    reason = REASONS.get(resp.status, "Unknown")
+    lines = [f"HTTP/1.1 {resp.status} {reason}",
+             f"content-type: {resp.content_type}",
+             f"content-length: {len(resp.body)}",
+             f"connection: {'keep-alive' if keep_alive else 'close'}"]
+    for name, value in resp.headers.items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + resp.body
+
+
+class HttpServer:
+    """Keep-alive HTTP server dispatching to one async handler."""
+
+    def __init__(self, handler: Handler, *, host: str = "127.0.0.1",
+                 port: int = 0, max_body: int = DEFAULT_MAX_BODY) -> None:
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self.max_body = max_body
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._closing = False
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection, host=self.host, port=self.port)
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._connection_loop(reader, writer)
+        except asyncio.CancelledError:
+            pass    # drain cut an idle keep-alive connection
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _connection_loop(self, reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter) -> None:
+        while True:
+            try:
+                request = await read_request(reader,
+                                             max_body=self.max_body)
+            except HttpProtocolError as exc:
+                payload = {"error": "bad-request", "message": exc.message}
+                writer.write(render_response(
+                    HttpResponse.json(payload, status=exc.status),
+                    keep_alive=False))
+                await writer.drain()
+                return
+            except asyncio.IncompleteReadError:
+                return
+            if request is None:
+                return
+            response = await self.handler(request)
+            keep_alive = (not self._closing and
+                          request.headers.get("connection", "") != "close")
+            try:
+                writer.write(render_response(response,
+                                             keep_alive=keep_alive))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return
+            if not keep_alive:
+                return
+
+    async def close(self, *, grace_s: float = 10.0) -> None:
+        """Stop accepting, wait for in-flight connections, then cut."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._connections:
+            _, pending = await asyncio.wait(
+                set(self._connections), timeout=grace_s)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+    @property
+    def open_connections(self) -> int:
+        return len(self._connections)

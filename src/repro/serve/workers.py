@@ -1,0 +1,280 @@
+"""Supervised ``ProcessPoolExecutor`` with crash recovery.
+
+Simulation is CPU-bound pure Python, so the daemon executes every
+request on a process pool.  A worker can die mid-request — OOM-killed,
+``kill -9`` in the chaos tests, a segfaulting native extension — and
+``concurrent.futures`` answers *every* outstanding future of a broken
+pool with :class:`BrokenProcessPool`.  The supervisor here turns that
+into availability instead of an error page:
+
+* the broken executor is discarded and a fresh one spawned (at most
+  one respawn at a time — concurrent victims share the new pool);
+* each affected request is retried on the new pool with bounded
+  attempts and jittered exponential backoff, as long as its deadline
+  has budget left;
+* retry/respawn counts land in the metrics registry, so a crash-looping
+  worker is visible on ``/metrics`` long before it pages anyone.
+
+The worker entry point (:func:`execute_payload`) is a module-level
+function with JSON-safe arguments, so it pickles cheaply.  Named
+workloads run through :func:`repro.campaign.runner._execute_job` —
+the exact cache fast path the batch campaign uses — and inline
+programs read/write the same content-addressed cache, so the daemon
+and overnight campaigns share one warm cache directory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.obs import MetricsRegistry
+
+
+class WorkerCrash(Exception):
+    """A request ran out of retry budget against crashing workers."""
+
+
+# -- worker-side execution (runs in the pool processes) ----------------
+
+def execute_payload(kind: str, payload: Dict[str, Any],
+                    cache_dir: str) -> Dict[str, Any]:
+    """Execute one unit of work; returns a JSON-safe result dict."""
+    if kind == "simulate":
+        return _execute_simulate(payload, cache_dir)
+    if kind == "verify":
+        return _execute_verify(payload)
+    if kind == "sleep":     # chaos/debug hook (gated by the app)
+        time.sleep(float(payload.get("seconds", 0.1)))
+        return {"slept_s": payload.get("seconds", 0.1),
+                "worker": f"pid-{os.getpid()}"}
+    raise ValueError(f"unknown work kind {kind!r}")
+
+
+def _execute_simulate(payload: Dict[str, Any],
+                      cache_dir: str) -> Dict[str, Any]:
+    from repro.campaign.jobs import CampaignJob
+    from repro.campaign.runner import _execute_job
+
+    if "suite" in payload:
+        job = CampaignJob(suite=payload["suite"], bench=payload["bench"],
+                          core=payload["core"], mode=payload["mode"],
+                          scale=payload.get("scale"))
+        record = _execute_job(job, cache_dir, force=False)
+        result = asdict(record)
+        result["workload"] = f"{payload['suite']}/{payload['bench']}"
+        return result
+    return _execute_inline(payload, cache_dir)
+
+
+def _execute_inline(payload: Dict[str, Any],
+                    cache_dir: str) -> Dict[str, Any]:
+    import hashlib
+    import json
+
+    from repro.campaign.cache import (
+        ResultCache,
+        payload_to_result,
+        result_key_from_fingerprint,
+        result_to_payload,
+        trace_fingerprint,
+        trace_index_key,
+    )
+    from repro.core import CORES, RecycleMode
+    from repro.core.cpu import simulate
+    from repro.isa.serialize import program_from_dict
+    from repro.pipeline.trace import generate_trace
+
+    start = time.perf_counter()
+    config = CORES[payload["core"]].with_mode(
+        RecycleMode(payload["mode"]))
+    cache = ResultCache(Path(cache_dir))
+
+    # the program→trace mapping is deterministic, so inline programs
+    # get the same trace-fingerprint-index fast path as named jobs: a
+    # fully-warm request is three small file reads, no trace generation
+    digest = hashlib.sha256(json.dumps(
+        payload["program"], sort_keys=True).encode()).hexdigest()
+    tkey = trace_index_key("serve-inline", digest)
+    result = None
+    cache_hit = False
+    name = payload["program"].get("name", "inline")
+
+    fingerprint = cache.get_trace_fingerprint(tkey)
+    if fingerprint is not None:
+        key = result_key_from_fingerprint(fingerprint, config)
+        cached = cache.get(key)
+        if cached is not None:
+            result = payload_to_result(cached, config)
+            cache_hit = True
+    if result is None:
+        program = program_from_dict(payload["program"])
+        name = program.name
+        trace = generate_trace(program)
+        fingerprint = trace_fingerprint(trace)
+        cache.put_trace_fingerprint(tkey, fingerprint)
+        key = result_key_from_fingerprint(fingerprint, config)
+        cached = cache.get(key)
+        if cached is not None:
+            result = payload_to_result(cached, config)
+            cache_hit = True
+        else:
+            result = simulate(trace, config)
+            cache.put(key, result_to_payload(result))
+
+    return {
+        "workload": name,
+        "suite": "inline", "bench": name,
+        "core": payload["core"], "mode": payload["mode"],
+        "key": key,
+        "cycles": result.cycles,
+        "committed": result.stats.committed,
+        "ipc": result.ipc,
+        "cache_hit": cache_hit,
+        "wall_time_s": round(time.perf_counter() - start, 6),
+        "worker": f"pid-{os.getpid()}",
+    }
+
+
+def _execute_verify(payload: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.core import CORES
+    from repro.verify.session import run_fuzz
+
+    start = time.perf_counter()
+    outcome = run_fuzz(budget=int(payload["budget"]),
+                       seed=int(payload["seed"]),
+                       config=CORES[payload.get("core", "small")],
+                       metamorphic=bool(payload.get("metamorphic", True)),
+                       do_shrink=False)
+    result = outcome.to_payload()
+    result["ok"] = outcome.ok
+    result["wall_time_s"] = round(time.perf_counter() - start, 6)
+    result["worker"] = f"pid-{os.getpid()}"
+    return result
+
+
+# -- supervisor (runs in the daemon's event loop) ----------------------
+
+class WorkerPool:
+    """Crash-supervised process pool with async submission."""
+
+    def __init__(self, workers: int, cache_dir: str, *,
+                 max_retries: int = 2,
+                 backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 1.0,
+                 metrics: Optional[MetricsRegistry] = None,
+                 seed: Optional[int] = None) -> None:
+        self.workers = max(1, workers)
+        self.cache_dir = cache_dir
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.metrics = metrics or MetricsRegistry()
+        self._rng = random.Random(seed)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._generation = 0
+        self._respawn_lock: Optional[asyncio.Lock] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._generation += 1
+            self.metrics.gauge("serve.worker_generation") \
+                .set(self._generation)
+        return self._pool
+
+    async def warm_up(self) -> List[int]:
+        """Spawn the workers eagerly; returns their pids."""
+        pool = self._ensure_pool()
+        loop = asyncio.get_running_loop()
+        futures = [loop.run_in_executor(pool, os.getpid)
+                   for _ in range(self.workers)]
+        await asyncio.gather(*futures)
+        return self.worker_pids()
+
+    def worker_pids(self) -> List[int]:
+        """Best-effort list of live worker pids (for /v1/status and
+        the chaos tests; ``_processes`` is stable across 3.9–3.13)."""
+        pool = self._pool
+        processes = getattr(pool, "_processes", None) or {}
+        return sorted(processes.keys())
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            # cancel_futures only exists on 3.9+; everything queued is
+            # ours and already resolved by the supervisor on drain
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # -- supervised execution ------------------------------------------
+
+    async def run(self, kind: str, payload: Dict[str, Any], *,
+                  deadline_s: Optional[float] = None) -> Dict[str, Any]:
+        """Execute one payload, surviving worker crashes.
+
+        Raises :class:`WorkerCrash` after ``max_retries`` broken-pool
+        failures, or :class:`asyncio.TimeoutError` when *deadline_s*
+        (seconds from now) expires first.
+        """
+        if self._respawn_lock is None:
+            self._respawn_lock = asyncio.Lock()
+        loop = asyncio.get_running_loop()
+        expiry = (time.monotonic() + deadline_s
+                  if deadline_s is not None else None)
+        last_error: Optional[BaseException] = None
+
+        for attempt in range(self.max_retries + 1):
+            pool = self._ensure_pool()
+            generation = self._generation
+            future = loop.run_in_executor(
+                pool, execute_payload, kind, payload, self.cache_dir)
+            try:
+                if expiry is None:
+                    return await future
+                remaining = expiry - time.monotonic()
+                if remaining <= 0:
+                    raise asyncio.TimeoutError()
+                return await asyncio.wait_for(future, timeout=remaining)
+            except BrokenProcessPool as exc:
+                last_error = exc
+                self.metrics.counter("serve.worker_crashes").inc()
+                await self._respawn(generation)
+                if attempt < self.max_retries:
+                    self.metrics.counter("serve.worker_retries").inc()
+                    await asyncio.sleep(self._backoff(attempt, expiry))
+        raise WorkerCrash(
+            f"work unit failed after {self.max_retries + 1} attempts "
+            f"on crashing workers") from last_error
+
+    def _backoff(self, attempt: int,
+                 expiry: Optional[float]) -> float:
+        """Jittered exponential backoff, clipped to the deadline."""
+        base = min(self.backoff_cap_s,
+                   self.backoff_base_s * (2 ** attempt))
+        delay = base * (0.5 + self._rng.random())
+        if expiry is not None:
+            delay = min(delay, max(0.0, expiry - time.monotonic()))
+        return delay
+
+    async def _respawn(self, broken_generation: int) -> None:
+        """Replace a broken executor exactly once per generation."""
+        assert self._respawn_lock is not None
+        async with self._respawn_lock:
+            if self._generation != broken_generation:
+                return          # another victim already respawned it
+            broken, self._pool = self._pool, None
+            if broken is not None:
+                # a broken pool's shutdown is instant; don't block the
+                # event loop on stuck children
+                broken.shutdown(wait=False)
+            self._ensure_pool()
+            self.metrics.counter("serve.worker_respawns").inc()

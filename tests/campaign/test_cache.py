@@ -119,6 +119,73 @@ class TestRoundTrip:
         assert result.cycles > 0
         assert cache.misses == 2  # corrupt read counted as miss
 
+
+class TestCorruptionTolerance:
+    """Torn/garbage entries: miss + count + unlink, never a crash."""
+
+    def _warm(self, tiny_trace, config, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cached_simulate(tiny_trace, config, cache)
+        return cache, result_key(tiny_trace, config)
+
+    @pytest.mark.parametrize("garbage", [
+        b"not json{",                 # torn mid-write
+        b'{"schema": 1, "name": ',    # truncated JSON
+        b"\x00\xff\xfe binary",       # not even text
+        b"[1, 2, 3]",                 # valid JSON, wrong shape
+    ])
+    def test_garbage_entry_is_counted_and_removed(
+            self, tiny_trace, config, tmp_path, garbage):
+        cache, key = self._warm(tiny_trace, config, tmp_path)
+        cache.path(key).write_bytes(garbage)
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        assert not cache.path(key).exists()   # unlinked for rewrite
+        # and the next simulate round-trips a fresh entry
+        result = cached_simulate(tiny_trace, config, cache)
+        assert result.cycles > 0
+        assert cache.get(key) is not None
+
+    def test_schema_mismatch_is_a_plain_miss(self, tiny_trace, config,
+                                             tmp_path):
+        cache, key = self._warm(tiny_trace, config, tmp_path)
+        cache.path(key).write_text('{"schema": 999}')
+        assert cache.get(key) is None
+        # an old-but-well-formed entry is not corruption
+        assert cache.corrupt == 0
+        assert cache.path(key).exists()
+
+    def test_missing_entry_is_not_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get("0" * 32) is None
+        assert (cache.misses, cache.corrupt) == (1, 0)
+
+    def test_corrupt_trace_index_entry(self, tiny_trace, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        tkey = trace_index_key("ml", "pool0", 3)
+        cache.put_trace_fingerprint(tkey, trace_fingerprint(tiny_trace))
+        cache.trace_index_path(tkey).write_text("{torn")
+        assert cache.get_trace_fingerprint(tkey) is None
+        assert cache.corrupt == 1
+        assert not cache.trace_index_path(tkey).exists()
+        # index entry with the wrong shape is also corrupt
+        cache.trace_index_path(tkey).parent.mkdir(exist_ok=True)
+        cache.trace_index_path(tkey).write_text('{"fingerprint": 42}')
+        assert cache.get_trace_fingerprint(tkey) is None
+        assert cache.corrupt == 2
+
+    def test_corruption_logged_via_obs_metrics(self, tiny_trace, config,
+                                               tmp_path):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        cache = ResultCache(tmp_path / "cache", metrics=metrics)
+        cached_simulate(tiny_trace, config, cache)
+        key = result_key(tiny_trace, config)
+        cache.path(key).write_text("}{")
+        assert cache.get(key) is None
+        assert metrics.counter("cache.corrupt_entries").value == 1
+
     def test_clear(self, tiny_trace, config, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         cached_simulate(tiny_trace, config, cache)

@@ -6,6 +6,8 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 import repro
 
 SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
@@ -141,3 +143,18 @@ def test_report_without_campaign_json(tmp_path):
     proc = _campaign(["report"], tmp_path)
     assert proc.returncode == 2
     assert "no campaign JSON" in proc.stderr
+
+
+@pytest.mark.parametrize("content", [
+    "",                      # empty file (torn write before any bytes)
+    "{not json",             # truncated/corrupt JSON
+    "{}",                    # valid JSON, wrong document shape
+    '{"results": "nope"}',   # right key, wrong type
+])
+def test_report_rejects_unreadable_json(tmp_path, content):
+    (tmp_path / "BENCH_campaign.json").write_text(content)
+    proc = _campaign(["report"], tmp_path)
+    assert proc.returncode == 2
+    assert proc.stderr.startswith("error:")
+    assert "Traceback" not in proc.stderr
+    assert len(proc.stderr.strip().splitlines()) == 1

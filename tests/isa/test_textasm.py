@@ -159,6 +159,57 @@ class TestSimd:
         assert result.mem.read_block(0x200, 16) == bytes(range(1, 17))
 
 
+class TestErrorPaths:
+    """Every malformed line dies loudly with its line number.
+
+    The serve daemon maps these (``AssemblyError`` is a ``ValueError``,
+    undefined labels surface as ``KeyError``) onto 400 bad-asm
+    responses, so the exception types here are part of the contract.
+    """
+
+    def test_malformed_register_operand(self):
+        with pytest.raises(AssemblyError) as err:
+            assemble_text("mov r0, #1\nadd r0, qq, #1\nhalt")
+        assert err.value.lineno == 2
+        assert "not a register" in str(err.value)
+
+    def test_register_index_out_of_range(self):
+        with pytest.raises(AssemblyError, match="out of range"):
+            assemble_text("mov r99, #1\nhalt")
+
+    def test_bad_immediate_literal(self):
+        with pytest.raises(AssemblyError) as err:
+            assemble_text("mov r0, #zz\nhalt")
+        assert err.value.lineno == 1
+
+    def test_missing_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble_text("add r0, r1\nhalt")
+
+    def test_memory_operand_without_brackets(self):
+        with pytest.raises(AssemblyError, match="memory operand"):
+            assemble_text("ldr r0, r1\nhalt")
+
+    def test_unterminated_memory_bracket(self):
+        with pytest.raises(AssemblyError, match="memory operand"):
+            assemble_text("ldr r0, [r1\nhalt")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError) as err:
+            assemble_text("x:\nmov r0, #1\nx:\nhalt")
+        assert err.value.lineno == 3
+        assert "duplicate label" in str(err.value)
+
+    def test_undefined_branch_label(self):
+        # label resolution happens in Program.resolve_labels, after
+        # parsing, so this one is a KeyError rather than AssemblyError
+        with pytest.raises(KeyError, match="nowhere"):
+            assemble_text("b nowhere\nhalt")
+
+    def test_assembly_error_is_a_value_error(self):
+        assert issubclass(AssemblyError, ValueError)
+
+
 class TestEquivalenceWithBuilder:
     def test_text_and_builder_produce_same_timing(self):
         """The same kernel through both frontends simulates identically."""

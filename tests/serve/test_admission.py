@@ -1,0 +1,148 @@
+"""Admission queue: bounds, priority, dedup, expiry, drain."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.admission import AdmissionQueue, Draining, QueueFull
+from repro.serve.protocol import parse_request
+
+NAMED = {"suite": "ml", "bench": "pool0",
+         "core": "small", "mode": "baseline"}
+
+
+def spec(**overrides):
+    body = dict(NAMED)
+    body.update(overrides)
+    return parse_request("simulate", body)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBounds:
+    def test_queue_full_rejects(self):
+        async def main():
+            queue = AdmissionQueue(max_depth=2)
+            queue.submit(spec(mode="baseline"))
+            queue.submit(spec(mode="redsoc"))
+            with pytest.raises(QueueFull):
+                queue.submit(spec(mode="mos"))
+            assert queue.metrics.counter(
+                "serve.rejected_queue_full").value == 1
+        run(main())
+
+    def test_draining_rejects(self):
+        async def main():
+            queue = AdmissionQueue()
+            queue.begin_drain()
+            with pytest.raises(Draining):
+                queue.submit(spec())
+        run(main())
+
+
+class TestPriority:
+    def test_interactive_preempts_batch(self):
+        async def main():
+            queue = AdmissionQueue()
+            batch = queue.submit(spec(mode="redsoc", priority="batch"))
+            inter = queue.submit(spec(mode="baseline"))
+            first = await queue.next_ticket()
+            second = await queue.next_ticket()
+            assert first is inter and second is batch
+            for t in (batch, inter):
+                t.future.cancel()
+        run(main())
+
+
+class TestSingleFlight:
+    def test_identical_requests_share_a_ticket(self):
+        async def main():
+            queue = AdmissionQueue()
+            leader = queue.submit(spec())
+            follower = queue.submit(spec(deadline_ms=500))
+            assert follower is leader        # deadline excluded from work
+            assert queue.depth == 1
+            assert queue.metrics.counter(
+                "serve.singleflight_coalesced").value == 1
+            leader.future.cancel()
+        run(main())
+
+    def test_different_work_not_coalesced(self):
+        async def main():
+            queue = AdmissionQueue()
+            a = queue.submit(spec(mode="baseline"))
+            b = queue.submit(spec(mode="redsoc"))
+            assert a is not b and queue.depth == 2
+            for t in (a, b):
+                t.future.cancel()
+        run(main())
+
+    def test_resolved_leader_is_not_reused(self):
+        async def main():
+            queue = AdmissionQueue()
+            leader = queue.submit(spec())
+            leader.future.set_result({"cycles": 1})
+            await asyncio.sleep(0)           # let done-callback run
+            again = queue.submit(spec())
+            assert again is not leader
+            again.future.cancel()
+        run(main())
+
+
+class TestExpiry:
+    def test_expired_ticket_is_cancelled_not_executed(self):
+        async def main():
+            queue = AdmissionQueue()
+            dead = queue.submit(spec(deadline_ms=1))
+            live = queue.submit(spec(mode="redsoc"))
+            await asyncio.sleep(0.01)
+            ticket = await queue.next_ticket()
+            assert ticket is live
+            assert dead.future.cancelled()
+            assert queue.metrics.counter(
+                "serve.expired_in_queue").value == 1
+            live.future.cancel()
+        run(main())
+
+    def test_abandoned_ticket_is_skipped(self):
+        async def main():
+            queue = AdmissionQueue()
+            gone = queue.submit(spec())
+            gone.abandoned = True
+            live = queue.submit(spec(mode="redsoc"))
+            ticket = await queue.next_ticket()
+            assert ticket is live
+            live.future.cancel()
+            gone.future.cancel()
+        run(main())
+
+
+class TestDrain:
+    def test_next_ticket_returns_none_when_drained_and_empty(self):
+        async def main():
+            queue = AdmissionQueue()
+            queue.begin_drain()
+            assert await queue.next_ticket() is None
+        run(main())
+
+    def test_admitted_work_survives_drain(self):
+        async def main():
+            queue = AdmissionQueue()
+            ticket = queue.submit(spec())
+            queue.begin_drain()
+            assert await queue.next_ticket() is ticket
+            ticket.future.set_result({})
+            assert await queue.next_ticket() is None
+            await queue.join()
+        run(main())
+
+    def test_idle_dispatcher_wakes_on_drain(self):
+        async def main():
+            queue = AdmissionQueue()
+            waiter = asyncio.ensure_future(queue.next_ticket())
+            await asyncio.sleep(0.01)
+            queue.begin_drain()
+            assert await asyncio.wait_for(waiter, timeout=1.0) is None
+        run(main())

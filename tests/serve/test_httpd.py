@@ -1,0 +1,163 @@
+"""HTTP framing: request parsing, keep-alive, bounds, bad input."""
+
+import asyncio
+import json
+
+from repro.serve.httpd import HttpResponse, HttpServer, render_response
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def echo_handler(request):
+    return HttpResponse.json({"path": request.path,
+                              "method": request.method,
+                              "body_bytes": len(request.body)})
+
+
+async def _start(handler=echo_handler, **kwargs):
+    server = HttpServer(handler, **kwargs)
+    await server.start()
+    return server
+
+
+async def _roundtrip(port, raw):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(raw)
+    await writer.drain()
+    writer.write_eof()
+    data = await reader.read()
+    writer.close()
+    return data
+
+
+def _get(path, extra=b""):
+    return (f"GET {path} HTTP/1.1\r\nhost: x\r\n".encode()
+            + extra + b"\r\n")
+
+
+class TestFraming:
+    def test_simple_get(self):
+        async def main():
+            server = await _start()
+            data = await _roundtrip(server.port, _get("/hello"))
+            assert data.startswith(b"HTTP/1.1 200 OK")
+            body = json.loads(data.split(b"\r\n\r\n", 1)[1])
+            assert body == {"path": "/hello", "method": "GET",
+                            "body_bytes": 0}
+            await server.close(grace_s=1)
+        run(main())
+
+    def test_post_body_with_content_length(self):
+        async def main():
+            server = await _start()
+            payload = b'{"x": 1}'
+            raw = (b"POST /v1/x HTTP/1.1\r\nhost: x\r\n"
+                   + f"content-length: {len(payload)}\r\n\r\n".encode()
+                   + payload)
+            data = await _roundtrip(server.port, raw)
+            body = json.loads(data.split(b"\r\n\r\n", 1)[1])
+            assert body["body_bytes"] == len(payload)
+            await server.close(grace_s=1)
+        run(main())
+
+    def test_query_string_stripped(self):
+        async def main():
+            server = await _start()
+            data = await _roundtrip(server.port, _get("/p?q=1"))
+            body = json.loads(data.split(b"\r\n\r\n", 1)[1])
+            assert body["path"] == "/p"
+            await server.close(grace_s=1)
+        run(main())
+
+    def test_keep_alive_serves_two_requests(self):
+        async def main():
+            server = await _start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            for expected in ("/one", "/two"):
+                writer.write(f"GET {expected} HTTP/1.1\r\n"
+                             f"host: x\r\n\r\n".encode())
+                await writer.drain()
+                status = await reader.readline()
+                assert b"200" in status
+                length = 0
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n"):
+                        break
+                    if line.lower().startswith(b"content-length:"):
+                        length = int(line.split(b":")[1])
+                body = json.loads(await reader.readexactly(length))
+                assert body["path"] == expected
+            writer.close()
+            await server.close(grace_s=1)
+        run(main())
+
+
+class TestBadInput:
+    def test_malformed_request_line_is_400(self):
+        async def main():
+            server = await _start()
+            data = await _roundtrip(server.port, b"GARBAGE\r\n\r\n")
+            assert data.startswith(b"HTTP/1.1 400")
+            await server.close(grace_s=1)
+        run(main())
+
+    def test_oversized_body_is_413(self):
+        async def main():
+            server = await _start(max_body=64)
+            raw = (b"POST /x HTTP/1.1\r\nhost: x\r\n"
+                   b"content-length: 100000\r\n\r\n")
+            data = await _roundtrip(server.port, raw)
+            assert data.startswith(b"HTTP/1.1 413")
+            await server.close(grace_s=1)
+        run(main())
+
+    def test_chunked_rejected(self):
+        async def main():
+            server = await _start()
+            raw = (b"POST /x HTTP/1.1\r\nhost: x\r\n"
+                   b"transfer-encoding: chunked\r\n\r\n")
+            data = await _roundtrip(server.port, raw)
+            assert data.startswith(b"HTTP/1.1 400")
+            await server.close(grace_s=1)
+        run(main())
+
+    def test_bad_content_length_is_400(self):
+        async def main():
+            server = await _start()
+            raw = (b"POST /x HTTP/1.1\r\nhost: x\r\n"
+                   b"content-length: lots\r\n\r\n")
+            data = await _roundtrip(server.port, raw)
+            assert data.startswith(b"HTTP/1.1 400")
+            await server.close(grace_s=1)
+        run(main())
+
+
+class TestRender:
+    def test_response_bytes(self):
+        resp = HttpResponse.json({"ok": True}, status=200)
+        raw = render_response(resp, keep_alive=True)
+        head, body = raw.split(b"\r\n\r\n", 1)
+        assert b"HTTP/1.1 200 OK" in head
+        assert b"connection: keep-alive" in head
+        assert f"content-length: {len(body)}".encode() in head
+        assert json.loads(body) == {"ok": True}
+
+    def test_close_header(self):
+        raw = render_response(HttpResponse.text("bye"), keep_alive=False)
+        assert b"connection: close" in raw
+
+    def test_drain_closes_idle_connections(self):
+        async def main():
+            server = await _start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            await asyncio.sleep(0.01)
+            assert server.open_connections == 1
+            await server.close(grace_s=0.05)
+            assert server.open_connections == 0
+            writer.close()
+        run(main())

@@ -1,0 +1,102 @@
+"""Load generator: deterministic mix, honest accounting, report shape."""
+
+import json
+import random
+
+import pytest
+
+from repro.serve import ServeConfig, ServeDaemon, run_loadgen
+from repro.serve.loadgen import LoadReport, Sample, default_mix, \
+    write_report
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    config = ServeConfig(port=0, workers=2,
+                         cache_dir=tmp_path_factory.mktemp("cache"))
+    d = ServeDaemon(config)
+    port = d.start_background()
+    yield port
+    d.stop_background()
+
+
+class TestMix:
+    def test_mix_is_deterministic_under_seed(self):
+        from repro.serve.loadgen import _pick
+
+        def draws(seed):
+            rng = random.Random(seed)
+            mix = default_mix()
+            out = []
+            for _ in range(20):
+                kind, body = _pick(mix, rng).make_body(rng)
+                out.append((kind, json.dumps(body, sort_keys=True)))
+            return out
+        assert draws(7) == draws(7)
+        assert draws(7) != draws(8)
+
+    def test_error_mix_is_opt_in(self):
+        names = [m.name for m in default_mix()]
+        assert "bad-asm" not in names
+        assert "bad-asm" in [m.name for m in default_mix(True)]
+
+
+class TestReport:
+    def _report(self):
+        report = LoadReport(mode="closed", concurrency=2)
+        for i, status in enumerate([200, 200, 200, 400, 429]):
+            report.samples.append(Sample(
+                kind="simulate", status=status,
+                latency_us=(i + 1) * 1000, served="worker"))
+        report.wall_time_s = 0.5
+        return report
+
+    def test_status_buckets_and_throughput(self):
+        payload = self._report().to_payload()
+        assert payload["status_counts"] == {"2xx": 3, "4xx": 2}
+        assert payload["throughput_rps"] == 10.0
+        assert payload["schema"] == 1
+
+    def test_percentiles_exclude_errors(self):
+        # errors (the two slowest samples here) must not pollute the
+        # latency distribution
+        payload = self._report().to_payload()
+        assert payload["latency_ms"]["max"] == 3.0
+
+    def test_empty_report_has_null_latencies(self):
+        payload = LoadReport(mode="open").to_payload()
+        assert payload["latency_ms"]["p99"] is None
+        assert payload["throughput_rps"] == 0.0
+
+    def test_write_report_round_trips(self, tmp_path):
+        path = write_report(self._report(), tmp_path / "BENCH_serve.json",
+                            extra={"drain_s": 0.05})
+        payload = json.loads(path.read_text())
+        assert payload["drain_s"] == 0.05
+        assert payload["requests"] == 5
+
+
+class TestAgainstDaemon:
+    def test_closed_loop_end_to_end(self, daemon, tmp_path):
+        report = run_loadgen("127.0.0.1", daemon, mode="closed",
+                             requests=20, concurrency=4, seed=1,
+                             timeout_s=60)
+        payload = report.to_payload()
+        assert payload["requests"] == 20
+        assert payload["status_counts"].get("2xx", 0) == 20
+        assert payload["status_counts"].get("5xx", 0) == 0
+        assert not payload["transport_errors"]
+        assert payload["latency_ms"]["p99"] is not None
+
+    def test_open_loop_end_to_end(self, daemon):
+        report = run_loadgen("127.0.0.1", daemon, mode="open",
+                             requests=15, rate=50.0, seed=2,
+                             timeout_s=60)
+        payload = report.to_payload()
+        assert payload["mode"] == "open"
+        assert payload["requests"] == 15
+        assert payload["status_counts"].get("5xx", 0) == 0
+
+    def test_bad_mode_rejected(self, daemon):
+        with pytest.raises(ValueError, match="mode must be"):
+            run_loadgen("127.0.0.1", daemon, mode="sideways")
