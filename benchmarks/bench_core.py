@@ -1,0 +1,292 @@
+#!/usr/bin/env python
+"""Core-simulator throughput benchmark (sim-cycles per second).
+
+Times every selected ``(suite, bench, core, mode)`` job two ways:
+
+* **cold** — trace generation plus simulation, the cost of a
+  first-ever run of a job (what a forced campaign pays per miss);
+* **warm** — simulation alone against a pre-generated trace, the
+  steady-state cost once the per-process trace memo is hot.
+
+Each measurement is the **minimum of N repeats** (default 3, the
+standard ``timeit`` practice): wall-clock on shared runners jitters by
+10-20%, and the minimum is the best estimator of the true cost because
+noise is strictly additive.  A throwaway warm-up run precedes timing so
+allocator and bytecode-cache effects land outside the window.
+
+Results go to ``BENCH_core.json``.  ``--check`` gates against a
+committed reference (``benchmarks/core_reference.json``): aggregate
+cold and warm cost must stay within ``--tolerance`` (default 10%) of
+the reference **in machine-normalised units** — a short pure-Python
+calibration probe is timed immediately before every repeat, each
+repeat's wall time is expressed in multiples of its adjacent probe
+("quanta"), and the gate compares min-of-N quanta.  Pinning the probe
+next to the measurement cancels both host CPU speed and slow load
+drift, so the gate tracks simulator efficiency, not runner weather::
+
+    python benchmarks/bench_core.py --smoke --check
+    python benchmarks/bench_core.py --smoke --update-reference
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.campaign.jobs import (enumerate_jobs, job_config,  # noqa: E402
+                                 smoke_jobs)
+from repro.core.cpu import simulate  # noqa: E402
+from repro.pipeline.trace import generate_trace  # noqa: E402
+from repro.workloads.suites import SUITES, default_scale  # noqa: E402
+
+DEFAULT_REFERENCE = Path(__file__).parent / "core_reference.json"
+DEFAULT_OUTPUT = Path("BENCH_core.json")
+DEFAULT_REPEATS = 3
+DEFAULT_TOLERANCE = 0.10
+SCHEMA = 1
+
+#: iteration count of the machine-speed calibration probe; sized so one
+#: pass takes ~25 ms on a 2020s-era core — cheap enough to run before
+#: every timing repeat, long enough to be stable.
+_CALIBRATION_ITERS = 500_000
+
+
+def _calibrate() -> float:
+    """Seconds for a fixed pure-Python integer loop (one probe).
+
+    The loop exercises the same interpreter machinery the simulator
+    leans on (integer arithmetic, name lookups, loop overhead), so the
+    ratio ``job_time / probe_time`` is roughly host-invariant.  A probe
+    runs *adjacent to each timing repeat* and normalises only that
+    repeat, which also cancels slowly-varying background load.
+    """
+    start = time.perf_counter()
+    acc = 0
+    for i in range(_CALIBRATION_ITERS):
+        acc += i & 7
+    elapsed = time.perf_counter() - start
+    assert acc >= 0  # keep the loop body live
+    return elapsed
+
+
+def _build_program(job):
+    builder = SUITES[job.suite][job.bench]
+    if job.scale is not None:
+        kwargs = {"scale": job.scale}
+    else:
+        kwargs = default_scale(job.suite, job.bench)
+    return builder(**kwargs)
+
+
+def _time_job(job, repeats: int):
+    """Min-of-N cold and warm timings for one job."""
+    program = _build_program(job)
+    config = job_config(job)
+
+    # warm-up: one untimed full pass (also yields the reusable trace)
+    trace = generate_trace(program)
+    result = simulate(trace, config)
+    cycles = result.cycles
+
+    best_gen = best_sim = best_warm = None
+    best_cold_q = best_warm_q = None
+    for _ in range(repeats):
+        probe = _calibrate()
+
+        start = time.perf_counter()
+        cold_trace = generate_trace(program)
+        mid = time.perf_counter()
+        simulate(cold_trace, config)
+        end = time.perf_counter()
+        gen_s, sim_s = mid - start, end - mid
+        if best_gen is None or gen_s < best_gen:
+            best_gen = gen_s
+        if best_sim is None or sim_s < best_sim:
+            best_sim = sim_s
+        cold_q = (gen_s + sim_s) / probe
+        if best_cold_q is None or cold_q < best_cold_q:
+            best_cold_q = cold_q
+
+        probe = _calibrate()
+        start = time.perf_counter()
+        simulate(trace, config)
+        warm_s = time.perf_counter() - start
+        if best_warm is None or warm_s < best_warm:
+            best_warm = warm_s
+        warm_q = warm_s / probe
+        if best_warm_q is None or warm_q < best_warm_q:
+            best_warm_q = warm_q
+
+    cold_s = best_gen + best_sim
+    return {
+        "suite": job.suite, "bench": job.bench,
+        "core": job.core, "mode": job.mode,
+        "cycles": cycles,
+        "trace_gen_s": round(best_gen, 6),
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(best_warm, 6),
+        "cold_cyc_per_s": round(cycles / cold_s, 1),
+        "warm_cyc_per_s": round(cycles / best_warm, 1),
+        # machine-normalised cost (wall time in calibration quanta);
+        # the regression gate compares these, not raw seconds
+        "cold_quanta": round(best_cold_q, 3),
+        "warm_quanta": round(best_warm_q, 3),
+    }
+
+
+def run_bench(jobs, repeats: int, *, quiet: bool = False) -> dict:
+    """Benchmark *jobs* and return the ``BENCH_core.json`` payload."""
+    rows = []
+    total_cycles = 0
+    total_cold = total_warm = 0.0
+    total_cold_q = total_warm_q = 0.0
+    for job in jobs:
+        row = _time_job(job, repeats)
+        rows.append(row)
+        total_cycles += row["cycles"]
+        total_cold += row["cold_s"]
+        total_warm += row["warm_s"]
+        total_cold_q += row["cold_quanta"]
+        total_warm_q += row["warm_quanta"]
+        if not quiet:
+            print(f"  {job.label:35s} cold {row['cold_s']:6.3f}s "
+                  f"({row['cold_cyc_per_s']:>9,.0f} cyc/s)  "
+                  f"warm {row['warm_s']:6.3f}s "
+                  f"({row['warm_cyc_per_s']:>9,.0f} cyc/s)")
+    aggregate = {
+        "cycles": total_cycles,
+        "cold_s": round(total_cold, 3),
+        "warm_s": round(total_warm, 3),
+        "cold_cyc_per_s": round(total_cycles / total_cold, 1),
+        "warm_cyc_per_s": round(total_cycles / total_warm, 1),
+        "cold_quanta": round(total_cold_q, 3),
+        "warm_quanta": round(total_warm_q, 3),
+    }
+    if not quiet:
+        print(f"aggregate: cold {aggregate['cold_cyc_per_s']:,.0f} cyc/s, "
+              f"warm {aggregate['warm_cyc_per_s']:,.0f} cyc/s "
+              f"({total_cycles} cycles, {len(rows)} jobs)")
+    return {
+        "schema": SCHEMA,
+        "repeats": repeats,
+        "calibration_iters": _CALIBRATION_ITERS,
+        "jobs": rows,
+        "aggregate": aggregate,
+    }
+
+
+def check_against_reference(payload: dict, reference: dict,
+                            tolerance: float):
+    """Return drift failures of *payload* vs *reference*.
+
+    Costs are compared in calibration quanta (wall time divided by the
+    adjacent probe's time), which cancels the host's raw CPU speed and
+    slow background-load drift.  Lower quanta = faster simulator.
+    """
+    failures = []
+    for metric in ("cold_quanta", "warm_quanta"):
+        got = payload["aggregate"][metric]
+        ref = reference["aggregate"][metric]
+        ratio = got / ref
+        if ratio > 1.0 + tolerance:
+            failures.append(
+                f"aggregate {metric}: {ratio - 1.0:.1%} above reference "
+                f"({got:,.1f} vs {ref:,.1f} quanta — slower)")
+    new_jobs = {(r["suite"], r["bench"], r["core"], r["mode"])
+                for r in payload["jobs"]}
+    ref_jobs = {(r["suite"], r["bench"], r["core"], r["mode"])
+                for r in reference["jobs"]}
+    for key in sorted(ref_jobs - new_jobs):
+        failures.append("missing job vs reference: " + "/".join(key))
+    for row in payload["jobs"]:
+        key = (row["suite"], row["bench"], row["core"], row["mode"])
+        ref_row = next((r for r in reference["jobs"]
+                        if (r["suite"], r["bench"], r["core"],
+                            r["mode"]) == key), None)
+        if ref_row is not None and row["cycles"] != ref_row["cycles"]:
+            failures.append(
+                f"{'/'.join(key)}: simulated cycles changed "
+                f"(ref {ref_row['cycles']}, got {row['cycles']}) — "
+                f"timing-model change, update the reference")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="benchmark the CI smoke set (one small "
+                             "benchmark per suite, small core, all "
+                             "modes)")
+    parser.add_argument("--suites", nargs="*", default=None)
+    parser.add_argument("--cores", nargs="*", default=None)
+    parser.add_argument("--modes", nargs="*", default=None)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help="timing repeats per job; each metric is "
+                             "the minimum (default: 3)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="result JSON path (default: "
+                             "BENCH_core.json)")
+    parser.add_argument("--reference", type=Path,
+                        default=DEFAULT_REFERENCE,
+                        help="reference JSON for --check / "
+                             "--update-reference")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if aggregate throughput regresses "
+                             "more than --tolerance vs the reference "
+                             "(machine-speed normalised)")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="max relative regression (default: 0.10)")
+    parser.add_argument("--update-reference", action="store_true",
+                        help="rewrite the reference from this run")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        jobs = smoke_jobs(modes=args.modes)
+    else:
+        jobs = enumerate_jobs(suites=args.suites, cores=args.cores,
+                              modes=args.modes)
+
+    payload = run_bench(jobs, args.repeats, quiet=args.quiet)
+
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.update_reference:
+        with open(args.reference, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.reference}")
+        return 0
+
+    if args.check:
+        if not args.reference.is_file():
+            print(f"error: no reference at {args.reference}; create "
+                  f"one with --update-reference", file=sys.stderr)
+            return 2
+        with open(args.reference, "r", encoding="utf-8") as fh:
+            reference = json.load(fh)
+        failures = check_against_reference(payload, reference,
+                                           args.tolerance)
+        if failures:
+            print(f"CORE-BENCH REGRESSION ({len(failures)} failure(s), "
+                  f"tolerance {args.tolerance:.0%}):")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"core-bench gate OK: aggregate throughput within "
+              f"{args.tolerance:.0%} of reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,17 +27,19 @@ def render_summary(payload: Dict[str, Any]) -> str:
     rows: List[List[Any]] = []
     for rec in payload["results"]:
         speedup = rec.get("speedup")
+        rate = rec.get("sim_cycles_per_sec")
         rows.append([
             rec["suite"], rec["bench"], rec["core"], rec["mode"],
             rec["cycles"], f"{rec['ipc']:.3f}",
             percent(speedup) if speedup is not None else "-",
             "hit" if rec["cache_hit"] else "miss",
+            f"{rate:,.0f}" if rate is not None else "-",
             f"{rec['wall_time_s']:.2f}s",
         ])
     table = format_table(
         "Campaign results",
         ["suite", "bench", "core", "mode", "cycles", "IPC", "speedup",
-         "cache", "time"],
+         "cache", "sim cyc/s", "time"],
         rows)
     cache = payload["cache"]
     footer = (f"{payload['jobs']} jobs, {payload['workers']} worker(s), "

@@ -62,6 +62,10 @@ class JobRecord:
     speedup: Optional[float] = None
     worker: str = ""
     spans: Dict[str, float] = field(default_factory=dict)
+    #: simulator throughput for this job (simulated cycles per second
+    #: of the ``simulate`` span); ``None`` on cache hits, which never
+    #: ran the simulator
+    sim_cycles_per_sec: Optional[float] = None
 
     @property
     def label(self) -> str:
@@ -105,7 +109,7 @@ class CampaignResult:
     def to_payload(self) -> Dict[str, Any]:
         """JSON document written to ``BENCH_campaign.json``."""
         return {
-            "schema": 2,
+            "schema": 3,
             "model_version": model_version(),
             "workers": self.workers,
             "jobs": len(self.records),
@@ -180,6 +184,7 @@ def _execute_job(job: CampaignJob, cache_dir: str, force: bool,
             spans["simulate"] = time.perf_counter() - sim_start
             cache.put(key, result_to_payload(result))
 
+    sim_seconds = spans.get("simulate", 0.0)
     return JobRecord(
         suite=job.suite, bench=job.bench, core=job.core, mode=job.mode,
         key=key,
@@ -188,7 +193,9 @@ def _execute_job(job: CampaignJob, cache_dir: str, force: bool,
         wall_time_s=time.perf_counter() - start,
         worker=f"pid-{os.getpid()}",
         spans={name: round(seconds, 6)
-               for name, seconds in spans.items()})
+               for name, seconds in spans.items()},
+        sim_cycles_per_sec=(round(result.cycles / sim_seconds, 1)
+                            if sim_seconds > 0 else None))
 
 
 def _attach_speedups(records: Sequence[JobRecord]) -> None:

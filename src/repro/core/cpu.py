@@ -46,7 +46,7 @@ from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.branch import GsharePredictor
 from repro.pipeline.resources import ExecutionResources
 from repro.pipeline.trace import Trace, TraceEntry, generate_trace
-from repro.pipeline.uop import Uop, UopState
+from repro.pipeline.uop import OPCLASS_INDEX, Uop, UopState
 
 from .config import CoreConfig, RecycleMode, SchedulerDesign
 from .last_arrival import LastArrivalPredictor
@@ -62,7 +62,7 @@ from .scheduler import (
 )
 from .slack_lut import SlackLUT
 from .ticks import TickBase
-from .transparent import SequenceTracker, resolve_execution
+from .transparent import ExecTiming, SequenceTracker, resolve_execution
 from .width_predictor import WidthPredictor
 
 
@@ -133,6 +133,32 @@ class CoreSimulator:
         self._window_start_committed = 0
         self._exploit_left = 0
 
+        # -- hot-path acceleration state (behaviour-neutral) -----------
+        # decode memoization: an instruction's static timing never
+        # changes after assembly, so decode work runs once per static
+        # instruction (keyed by identity — the trace keeps them alive)
+        self._static_memo: Dict[int, tuple] = {}
+        self._ex_memo: Dict[tuple, int] = {}
+        # prebuilt select lanes + class-indexed pool table so the
+        # schedule loop never hashes OpClass members per cycle
+        self._lanes = tuple(
+            (op_class, pool, OPCLASS_INDEX[op_class])
+            for op_class, pool in self.res.pools.items())
+        self._pool_by_idx: List = [None] * len(OPCLASS_INDEX)
+        for op_class, pool in self.res.pools.items():
+            self._pool_by_idx[OPCLASS_INDEX[op_class]] = pool
+        self._do_gp = (config.mode is not RecycleMode.BASELINE
+                       and config.eager_issue)
+        self._adaptive = (config.adaptive_threshold
+                          and config.mode is RecycleMode.REDSOC)
+        #: True when the RSE watches every source tag (Sec. IV-C):
+        #: baseline mode or the Illustrative scheduler design
+        self._watch_all = (config.mode is RecycleMode.BASELINE
+                           or config.scheduler is SchedulerDesign.ILLUSTRATIVE)
+        # per-class issue tally as a plain list (folded into the
+        # enum-keyed FUStats dict once at the end of run())
+        self._issue_counts: List[int] = [0] * len(OPCLASS_INDEX)
+
         if obs is not None:
             # propagate the sink into the sub-models that publish their
             # own events (wakeup array, cache hierarchy)
@@ -156,15 +182,153 @@ class CoreSimulator:
     def run(self) -> SimResult:
         total = len(self.trace.entries)
         limit = 200 * total + 100_000
-        while self._committed < total:
-            self._step()
-            if self.cycle > limit:
-                raise RuntimeError(
-                    f"simulation wedged: {self._committed}/{total} committed "
-                    f"after {self.cycle} cycles (trace {self.trace.name!r})")
+        if self.obs is None:
+            self._run_fast(total, limit)
+        else:
+            # traced runs keep the plain per-cycle loop so per-cycle
+            # events (DISPATCH_STALL, FU_STALL, WAKEUP, ...) are emitted
+            # for every stalled cycle, exactly as an uninstrumented
+            # per-cycle simulator would order them
+            while self._committed < total:
+                self._step()
+                if self.cycle > limit:
+                    self._wedged(total)
+        issues = self.res.stats.issues
+        for op_class, idx in OPCLASS_INDEX.items():
+            if self._issue_counts[idx]:
+                issues[op_class] += self._issue_counts[idx]
+        self._issue_counts = [0] * len(OPCLASS_INDEX)
         self._finalize()
         return SimResult(name=self.trace.name, config=self.config,
                          stats=self.stats)
+
+    def _wedged(self, total: int) -> None:
+        raise RuntimeError(
+            f"simulation wedged: {self._committed}/{total} committed "
+            f"after {self.cycle} cycles (trace {self.trace.name!r})")
+
+    def _run_fast(self, total: int, limit: int) -> None:
+        """Event-driven main loop (untraced runs).
+
+        Simulates exactly the cycles where architectural state can
+        change and *skips* the provably-idle stretches between them,
+        accumulating their cycle/stall statistics in bulk.  A cycle is
+        idle when nothing is select-eligible, the ROB head cannot
+        retire, the front end can neither fetch nor dispatch, and no
+        wakeup is due; the next interesting cycle is then the earliest
+        of the next scheduled wakeup, the ROB head's completion, and
+        the fetch-resume cycle.  Jumps are clamped so that boundary
+        cycles of the adaptive-threshold controller and the periodic
+        FU-table cleanup are still simulated normally — every side
+        effect of the per-cycle loop is reproduced exactly, keeping the
+        two loops cycle-for-cycle bit-identical (enforced by
+        ``check_regression.py --exact-cycles`` and the ``repro.verify``
+        differential oracle).
+        """
+        ready = self.ready
+        rob = self._rob
+        fetch_queue = self._fetch_queue
+        stats = self.stats
+        config = self.config
+        res = self.res
+        entries_total = len(self.trace.entries)
+        queue_cap = 2 * config.front_width
+        adaptive = self._adaptive
+        window = config.threshold_window
+        issued_state = UopState.ISSUED
+        wake_heap = ready._wake_heap
+        cycle = self.cycle
+        while self._committed < total:
+            self.cycle = cycle
+            if wake_heap and wake_heap[0] <= cycle:
+                ready.advance_to(cycle)
+            if rob:
+                self._commit(cycle)
+            if ready.live_total:
+                self._schedule(cycle)
+            if fetch_queue:
+                self._dispatch(cycle)
+            if (self._blocked_on_seq is None
+                    and cycle >= self._fetch_resume
+                    and self._fetch_idx < entries_total
+                    and len(fetch_queue) < queue_cap):
+                self._fetch(cycle)
+            stats.cycles += 1
+            if cycle and not cycle & 4095:
+                res.release_past(cycle)
+            if adaptive and cycle and not cycle % window:
+                self._adapt_threshold()
+            cycle += 1
+            self.cycle = cycle
+            if cycle > limit:
+                self._wedged(total)
+            if self._committed >= total:
+                break
+
+            # -- skip-ahead: is the machine provably idle at `cycle`? --
+            if ready.live_total:
+                continue
+            head_done = None
+            if rob:
+                head = rob[0]
+                if head.state is issued_state:
+                    head_done = head.done_cycle
+                    if head_done is not None and head_done <= cycle:
+                        continue
+            can_fetch = (self._blocked_on_seq is None
+                         and self._fetch_idx < entries_total
+                         and len(fetch_queue) < queue_cap)
+            if can_fetch and self._fetch_resume <= cycle:
+                continue
+            if fetch_queue and not self._dispatch_blocked():
+                continue
+            target = ready.next_wake_cycle()
+            if head_done is not None and (target is None
+                                          or head_done < target):
+                target = head_done
+            if can_fetch and (target is None
+                              or self._fetch_resume < target):
+                target = self._fetch_resume
+            if target is None or target <= cycle:
+                # nothing schedulable ahead (a wedge): fall back to
+                # plain stepping, which preserves the wedge detector
+                continue
+            if adaptive:
+                rem = cycle % window
+                boundary = cycle - rem + (window if rem or not cycle
+                                          else 0)
+                if boundary < target:
+                    target = boundary
+            rem = cycle & 4095
+            boundary = cycle - rem + (4096 if rem or not cycle else 0)
+            if boundary < target:
+                target = boundary
+            if target > cycle:
+                skipped = target - cycle
+                stats.cycles += skipped
+                if fetch_queue:
+                    # the fetch-queue head stays dispatch-blocked for
+                    # every skipped cycle (per-cycle stall accounting)
+                    stats.dispatch_stall_cycles += skipped
+                cycle = target
+
+    def _dispatch_blocked(self) -> bool:
+        """Would :meth:`_dispatch` stall without dispatching anything?
+
+        Mirrors the head-of-queue allocation checks in
+        :meth:`_dispatch` exactly (same order, same structures).
+        """
+        config = self.config
+        if len(self._rob) >= config.rob_size:
+            return True
+        cls = self._fetch_queue[0][1].cls
+        if (cls is not OpClass.NOP and cls is not OpClass.HALT
+                and self._rs_used >= config.rse_size):
+            return True
+        if ((cls is OpClass.LOAD or cls is OpClass.STORE)
+                and self._lsq_used >= config.lsq_size):
+            return True
+        return False
 
     def _step(self) -> None:
         cycle = self.cycle
@@ -178,8 +342,7 @@ class CoreSimulator:
         self.stats.cycles += 1
         if cycle and cycle % 4096 == 0:
             self.res.release_past(cycle)
-        if (self.config.adaptive_threshold
-                and self.config.mode is RecycleMode.REDSOC
+        if (self._adaptive
                 and cycle and cycle % self.config.threshold_window == 0):
             self._adapt_threshold()
         self.cycle += 1
@@ -250,10 +413,14 @@ class CoreSimulator:
     # ------------------------------------------------------------------
 
     def _commit(self, cycle: int) -> None:
+        rob = self._rob
+        stats = self.stats
+        width = self.config.front_width
+        issued = UopState.ISSUED
         committed = 0
-        while self._rob and committed < self.config.front_width:
-            uop = self._rob[0]
-            if (uop.state is not UopState.ISSUED
+        while rob and committed < width:
+            uop = rob[0]
+            if (uop.state is not issued
                     or uop.done_cycle is None or uop.done_cycle > cycle):
                 break
             entry = uop.entry
@@ -264,13 +431,14 @@ class CoreSimulator:
                     self._live_stores.remove(uop)
                 if uop in self._inflight_stores:
                     self._inflight_stores.remove(uop)
-            if entry.instr.is_mem():
+            fu = uop.fu_class
+            if fu is OpClass.LOAD or fu is OpClass.STORE:
                 self._lsq_used -= 1
             self._classify(uop)
             uop.state = UopState.COMMITTED
-            self._rob.popleft()
+            rob.popleft()
             self._committed += 1
-            self.stats.committed += 1
+            stats.committed += 1
             committed += 1
             if self.obs is not None:
                 self.obs.emit(Event(EventKind.COMMIT, cycle, uop.seq, {
@@ -280,7 +448,7 @@ class CoreSimulator:
                 }))
 
     def _classify(self, uop: Uop) -> None:
-        cls = uop.entry.instr.cls
+        cls = uop.fu_class
         dist = self.stats.distribution
         if cls in (OpClass.LOAD, OpClass.STORE):
             dist.add("MEM-HL" if uop.mem_hl else "MEM-LL")
@@ -300,35 +468,47 @@ class CoreSimulator:
     def _schedule(self, cycle: int) -> None:
         issued_now: List[Uop] = []
         stalled = False
-        for op_class, pool in self.res.pools.items():
-            pending = self.ready.pending(op_class)
-            if not pending:
+        obs = self.obs
+        ready = self.ready
+        queues = ready._queues
+        dead = ready._dead
+        # iterate the live lane lists in place: _try_issue only ever
+        # tombstones the uop under consideration (wakes are scheduled
+        # for future cycles), so no structural mutation happens here
+        for op_class, pool, idx in self._lanes:
+            if dead[idx] > 8:
+                ready._compact(idx)
+            queue = queues[idx]
+            if not queue:
                 continue
-            for uop in list(pending):
-                if pool.free_at(cycle + uop.latency_cycles) <= 0:
+            busy = pool._busy
+            count = pool.count
+            for uop in queue:
+                if not uop.in_ready:
+                    continue
+                if count <= busy.get(cycle + uop.latency_cycles, 0):
                     stalled = True
                     break
                 outcome = self._try_issue(uop, cycle)
                 if outcome == "issued":
                     issued_now.append(uop)
-                    if self.obs is not None:
-                        self.obs.emit(Event(
+                    if obs is not None:
+                        obs.emit(Event(
                             EventKind.SELECT, cycle, uop.seq,
                             {"phase": "P", "fu": op_class.value}))
                 elif outcome == "stall":
                     stalled = True
                     break
                 # "replayed" → removed from pending, rescheduled later
-        if (self.config.mode is not RecycleMode.BASELINE
-                and self.config.eager_issue):
+        if self._do_gp and issued_now:
             if self.config.skewed_select:
                 self._gp_phase(cycle, issued_now)
             else:
                 self._gp_phase_unskewed(cycle, issued_now)
         if stalled:
             self.stats.fu_stall_cycles += 1
-            if self.obs is not None:
-                self.obs.emit(Event(
+            if obs is not None:
+                obs.emit(Event(
                     EventKind.FU_STALL, cycle, -1,
                     {"tick": self.base.cycle_start(cycle)}))
 
@@ -337,30 +517,52 @@ class CoreSimulator:
         """Attempt to issue *uop*; returns 'issued' | 'stall' | 'replayed'."""
         base = self.base
         arrival = cycle + uop.latency_cycles
-        pool = self.res.pool_for(uop.fu_class)
+        fu = uop.fu_class
+        pool = self._pool_by_idx[uop.cls_idx]
+        sources = uop.sources
 
-        unissued = unissued_sources(uop)
-        if uop.entry.instr.is_mem() and (
-                uop.entry.instr.cls is OpClass.LOAD):
+        unissued = [s for s in sources
+                    if s.state is not UopState.COMMITTED
+                    and s.issue_cycle is None]
+        if fu is OpClass.LOAD:
             older = self._unissued_older_store(uop)
             if older is not None:
-                unissued = unissued + [older]
+                unissued.append(older)
         if unissued:
             # issued off the wrong (predicted-last) tag: selective reissue
             self._replay_on_sources(uop, unissued, cycle)
-            if pool.can_reserve(arrival):
-                pool.reserve(arrival)  # the wasted grant still burnt a slot
+            pool.try_reserve(arrival)  # the wasted grant still burnt a slot
             return "replayed"
 
-        if uop.entry.instr.cls is OpClass.LOAD:
+        if fu is OpClass.LOAD:
             return self._issue_load(uop, cycle)
-        if uop.entry.instr.cls is OpClass.STORE:
+        if fu is OpClass.STORE:
             return self._issue_store(uop, cycle)
 
-        source_avail = last_source_avail(uop, base)
-        timing = resolve_execution(
-            arrival_cycle=arrival, source_avail=source_avail,
-            ex_ticks=uop.ex_ticks, transparent=uop.transparent, base=base)
+        # inlined last_source_avail() + resolve_execution(): this is the
+        # per-issue critical path of the whole simulator
+        transparent = uop.transparent
+        source_avail = 0
+        for src in sources:
+            if src.state is UopState.COMMITTED:
+                continue
+            a = (src.avail_tick if transparent and src.transparent
+                 else src.sync_avail)
+            if a > source_avail:
+                source_avail = a
+        tpc = base.ticks_per_cycle
+        cycle_start = arrival * tpc
+        if transparent:
+            start = source_avail if source_avail > cycle_start else cycle_start
+        else:
+            edge = ((source_avail + tpc - 1) // tpc) * tpc
+            start = edge if edge > cycle_start else cycle_start
+        end = start + uop.ex_ticks
+        timing = ExecTiming(
+            start_tick=start, end_tick=end, avail_tick=end,
+            sync_avail_tick=((end + tpc - 1) // tpc) * tpc,
+            extra_cycle_hold=end > (start // tpc + 1) * tpc,
+            recycled=start % tpc != 0)
         if (self.config.mode is RecycleMode.MOS and timing.recycled
                 and timing.extra_cycle_hold):
             # MOS cannot cross a clock edge: fall back to a normal start
@@ -371,8 +573,7 @@ class CoreSimulator:
         if timing.start_tick >= base.cycle_start(arrival + 1):
             # an (unwatched but issued) operand lands after our window
             self._replay_late(uop, cycle)
-            if pool.can_reserve(arrival):
-                pool.reserve(arrival)
+            pool.try_reserve(arrival)
             return "replayed"
 
         aggressive = False
@@ -405,15 +606,14 @@ class CoreSimulator:
                 arrival_cycle=arrival, source_avail=source_avail,
                 ex_ticks=uop.ex_ticks, transparent=False, base=base)
             fb_cycle = base.cycle_of(fallback.start_tick)
-            if not pool.can_reserve(fb_cycle,
+            if not pool.try_reserve(fb_cycle,
                                     extra_cycle=fallback.extra_cycle_hold):
                 return "stall"
             timing = fallback
             occupy = fb_cycle
-        elif not pool.can_reserve(occupy,
+        elif not pool.try_reserve(occupy,
                                   extra_cycle=timing.extra_cycle_hold):
             return "stall"
-        pool.reserve(occupy, extra_cycle=timing.extra_cycle_hold)
 
         self._train_predictors(uop)
         self._finalize_issue(uop, cycle, timing, eager=eager)
@@ -451,7 +651,7 @@ class CoreSimulator:
         uop.sync_avail = timing.sync_avail_tick
         uop.extra_cycle_hold = timing.extra_cycle_hold
         uop.done_cycle = base.cycle_of(timing.sync_avail_tick)
-        self.res.stats.issues[uop.fu_class] += 1
+        self._issue_counts[uop.cls_idx] += 1
         if timing.extra_cycle_hold:
             self.stats.two_cycle_holds += 1
         if eager:
@@ -536,8 +736,8 @@ class CoreSimulator:
     def _issue_load(self, uop: Uop, cycle: int) -> str:
         base = self.base
         arrival = cycle + 1
-        pool = self.res.pool_for(OpClass.LOAD)
-        if not pool.can_reserve(arrival):
+        pool = self._pool_by_idx[uop.cls_idx]
+        if not pool.try_reserve(arrival):
             return "stall"
         addr_avail = last_source_avail(uop, base)
         addr_cycle = max(arrival, base.cycle_of(base.next_edge(addr_avail)))
@@ -549,7 +749,6 @@ class CoreSimulator:
             data_cycle = max(addr_cycle + 1, (fwd.done_cycle or 0) + 1)
         else:
             data_cycle = addr_cycle + latency
-        pool.reserve(arrival)
         timing = _LoadTiming(base, addr_cycle, data_cycle)
         self._finalize_issue(uop, cycle, timing, eager=False)
         return "issued"
@@ -557,10 +756,9 @@ class CoreSimulator:
     def _issue_store(self, uop: Uop, cycle: int) -> str:
         base = self.base
         arrival = cycle + 1
-        pool = self.res.pool_for(OpClass.STORE)
-        if not pool.can_reserve(arrival):
+        pool = self._pool_by_idx[uop.cls_idx]
+        if not pool.try_reserve(arrival):
             return "stall"
-        pool.reserve(arrival)
         timing = _StoreTiming(base, arrival)
         self._finalize_issue(uop, cycle, timing, eager=False)
         self._live_stores.append(uop)
@@ -614,17 +812,29 @@ class CoreSimulator:
             uop, max(cycle + 1, base.cycle_of(avail) - 1))
 
     def _notify_dependents(self, uop: Uop, cycle: int) -> None:
+        # inlined wake_cycle()/consumer_avail_tick(): this runs once per
+        # dependent of every issued uop, the hottest edge in the model
         base = self.base
+        cycle_of = base.cycle_of
+        schedule_wake = self.ready.schedule_wake
+        p_trans = uop.transparent
+        avail_t = uop.avail_tick
+        sync_t = uop.sync_avail
+        floor = uop.issue_cycle + 1
+        next_cycle = cycle + 1
         for dep in uop.dependents:
-            if uop not in dep.waiting_on:
+            waiting = dep.waiting_on
+            if uop not in waiting:
                 continue
-            dep.waiting_on.discard(uop)
-            wake = wake_cycle(uop, dep, base)
+            waiting.discard(uop)
+            avail = avail_t if p_trans and dep.transparent else sync_t
+            wake = cycle_of(avail) - dep.latency_cycles
+            if wake < floor:
+                wake = floor
             if dep.eligible_cycle is None or wake > dep.eligible_cycle:
                 dep.eligible_cycle = wake
-            if not dep.waiting_on:
-                self.ready.schedule_wake(
-                    dep, max(dep.eligible_cycle, cycle + 1))
+            if not waiting:
+                schedule_wake(dep, max(dep.eligible_cycle, next_cycle))
 
     # -- eager grandparent phase ---------------------------------------
 
@@ -669,7 +879,7 @@ class CoreSimulator:
         """
         spare = self.config.eager_spare_units
         for child in self._gp_candidates(cycle, issued_now):
-            pool = self.res.pool_for(child.fu_class)
+            pool = self._pool_by_idx[child.cls_idx]
             if (pool.free_at(cycle + 1) <= spare
                     or pool.free_at(cycle + 2) <= spare):
                 continue
@@ -693,7 +903,7 @@ class CoreSimulator:
         """
         spare = self.config.eager_spare_units
         for child in self._gp_candidates(cycle, issued_now):
-            pool = self.res.pool_for(child.fu_class)
+            pool = self._pool_by_idx[child.cls_idx]
             if (pool.free_at(cycle + 1) <= spare
                     or pool.free_at(cycle + 2) <= spare):
                 continue
@@ -714,22 +924,28 @@ class CoreSimulator:
 
     def _dispatch(self, cycle: int) -> None:
         config = self.config
+        fetch_queue = self._fetch_queue
+        rob = self._rob
+        rob_size = config.rob_size
+        rse_size = config.rse_size
+        lsq_size = config.lsq_size
         count = 0
         stalled = False
-        while self._fetch_queue and count < config.front_width:
-            seq, entry = self._fetch_queue[0]
-            instr = entry.instr
-            if len(self._rob) >= config.rob_size:
+        while fetch_queue and count < config.front_width:
+            seq, entry = fetch_queue[0]
+            if len(rob) >= rob_size:
                 stalled = True
                 break
-            needs_rs = instr.cls not in (OpClass.NOP, OpClass.HALT)
-            if needs_rs and self._rs_used >= config.rse_size:
+            cls = entry.cls
+            if (cls is not OpClass.NOP and cls is not OpClass.HALT
+                    and self._rs_used >= rse_size):
                 stalled = True
                 break
-            if instr.is_mem() and self._lsq_used >= config.lsq_size:
+            if ((cls is OpClass.LOAD or cls is OpClass.STORE)
+                    and self._lsq_used >= lsq_size):
                 stalled = True
                 break
-            self._fetch_queue.popleft()
+            fetch_queue.popleft()
             self._dispatch_one(seq, entry, cycle)
             count += 1
         if stalled:
@@ -743,12 +959,34 @@ class CoreSimulator:
                       cycle: int) -> None:
         uop = Uop(seq, entry)
         instr = entry.instr
-        self._decode_timing(uop)
+
+        # decode + rename tables: an instruction's static timing and
+        # architectural source/dest register sets never change after
+        # assembly, so both are derived once per static instruction
+        memo = self._static_memo.get(id(instr))
+        if memo is None:
+            memo = self._static_memo[id(instr)] = (
+                self._decode_static(instr)
+                + (tuple(instr.sources()), tuple(instr.dests())))
+        transparent, latency, ex_static, arith, src_regs, dst_regs = memo
+        uop.transparent = transparent
+        uop.latency_cycles = latency
+        if arith:
+            # arithmetic ALU ops resolve EX-TIME from dynamic per-PC
+            # width-predictor state
+            predicted = self.width_pred.predict(entry.pc)
+            uop.width_applied = True
+            uop.predicted_width = predicted
+            uop.ex_ticks = self._ex_time(instr, predicted)
+            uop.actual_ex_ticks = self._ex_time(instr, entry.op_width)
+        else:
+            uop.ex_ticks = uop.actual_ex_ticks = ex_static
 
         # rename: resolve register sources through the RAT
+        rat = self._rat
         sources: List[Uop] = []
-        for reg in instr.sources():
-            producer = self._rat.get(reg)
+        for reg in src_regs:
+            producer = rat.get(reg)
             if (producer is not None
                     and producer.state is not UopState.COMMITTED
                     and producer not in sources):
@@ -758,10 +996,11 @@ class CoreSimulator:
         # memory disambiguation: a load waits (for issue) only on the
         # youngest older store whose address range overlaps — oracle
         # disambiguation, the limit behaviour of a store-set predictor
+        fu = uop.fu_class
         order_dep: Optional[Uop] = None
-        if instr.is_mem():
+        if fu is OpClass.LOAD or fu is OpClass.STORE:
             self._lsq_used += 1
-            if instr.cls is OpClass.STORE:
+            if fu is OpClass.STORE:
                 self._inflight_stores.append(uop)
             else:
                 lo = entry.mem_addr
@@ -773,18 +1012,28 @@ class CoreSimulator:
                         break
         uop.order_dep = order_dep
 
-        watched = self._watched_sources(uop)
-        uop.waiting_on = {s for s in watched if s.issue_cycle is None}
+        # watched tags (Sec. IV-C): baseline / Illustrative watch every
+        # source; the Operational design watches only the predicted
+        # last-arriving parent of two-source transparent ops
+        if self._watch_all or not transparent or len(sources) != 2:
+            watched = sources
+        else:
+            second = self.la_pred.predict_second_last(entry.pc)
+            uop.la_applied = True
+            uop.second_predicted_last = second
+            watched = [sources[1] if second else sources[0]]
+        waiting = {s for s in watched if s.issue_cycle is None}
+        uop.waiting_on = waiting
         if order_dep is not None and order_dep.issue_cycle is None:
-            uop.waiting_on.add(order_dep)
+            waiting.add(order_dep)
 
         for producer in sources:
             producer.dependents.append(uop)
         if order_dep is not None and order_dep not in sources:
             order_dep.dependents.append(uop)
 
-        for reg in instr.dests():
-            self._rat[reg] = uop
+        for reg in dst_regs:
+            rat[reg] = uop
 
         if self.obs is not None:
             self.obs.emit(Event(EventKind.DISPATCH, cycle, seq, {
@@ -795,7 +1044,7 @@ class CoreSimulator:
                               if order_dep is not None else None),
             }))
         self._rob.append(uop)
-        if instr.cls in (OpClass.NOP, OpClass.HALT):
+        if fu is OpClass.NOP or fu is OpClass.HALT:
             uop.state = UopState.ISSUED
             uop.issue_cycle = cycle
             uop.done_cycle = cycle
@@ -812,70 +1061,49 @@ class CoreSimulator:
         if not uop.waiting_on:
             self.ready.schedule_wake(uop, wake)
 
-    def _watched_sources(self, uop: Uop) -> List[Uop]:
-        """Which source tags the RSE actually watches (Sec. IV-C).
+    def _ex_time(self, instr, width: int) -> int:
+        """Memoized slack-LUT read for (static instruction, width)."""
+        key = (id(instr), width)
+        ticks = self._ex_memo.get(key)
+        if ticks is None:
+            ticks = self._ex_memo[key] = self.lut.ex_time(instr, width)
+        return ticks
 
-        Baseline and the Illustrative design watch every source; the
-        Operational design watches only the predicted last-arriving
-        parent of two-source single-cycle transparent ops.
+    def _decode_static(self, instr) -> tuple:
+        """(transparent, latency, static EX-TIME, width-dynamic?) of a
+        static instruction.
+
+        The EX-TIME slot is authoritative for every class whose LUT
+        bucket ignores data width (logic/shift ALU ops, SIMD by lane
+        type, full-cycle multi-cycle classes); arithmetic ALU ops
+        return a ``True`` last field and resolve EX-TIME per dynamic
+        instance from the predicted/observed widths instead.
         """
-        config = self.config
-        sources = uop.sources
-        if (config.mode is RecycleMode.BASELINE
-                or config.scheduler is SchedulerDesign.ILLUSTRATIVE
-                or not uop.transparent or len(sources) != 2):
-            return sources
-        second = self.la_pred.predict_second_last(uop.entry.pc)
-        uop.la_applied = True
-        uop.second_predicted_last = second
-        return [sources[1] if second else sources[0]]
-
-    def _decode_timing(self, uop: Uop) -> None:
-        """Decode-stage work: class, latency, EX-TIME, width prediction."""
-        instr = uop.entry.instr
         op = instr.op
         cls = instr.cls
         config = self.config
-        mode = config.mode
+        transparent = config.mode is not RecycleMode.BASELINE
         full = self.base.ticks_per_cycle
-
         if cls is OpClass.ALU:
-            uop.transparent = mode is not RecycleMode.BASELINE
             if op in ARITH_OPS:
-                predicted = self.width_pred.predict(uop.entry.pc)
-                uop.width_applied = True
-                uop.predicted_width = predicted
-                uop.ex_ticks = self.lut.ex_time(instr, predicted)
-            else:
-                uop.ex_ticks = self.lut.ex_time(instr)
-            uop.actual_ex_ticks = self.lut.ex_time(instr,
-                                                   uop.entry.op_width)
-        elif cls is OpClass.SIMD:
+                return (transparent, 1, 0, True)
+            return (transparent, 1, self.lut.ex_time(instr), False)
+        if cls is OpClass.SIMD:
             if op in SIMD_SINGLE_CYCLE_OPS:
-                uop.transparent = mode is not RecycleMode.BASELINE
-                uop.ex_ticks = uop.actual_ex_ticks = self.lut.ex_time(instr)
-            elif op in SIMD_ACCUMULATE_OPS:
-                uop.transparent = mode is not RecycleMode.BASELINE
-                uop.latency_cycles = config.simd_multicycle_latency
-                uop.ex_ticks = uop.actual_ex_ticks = self.lut.ex_time(instr)
-            else:  # VMUL
-                uop.latency_cycles = config.simd_multicycle_latency
-                uop.ex_ticks = uop.actual_ex_ticks = full
-        elif cls is OpClass.MUL:
-            uop.latency_cycles = config.mul_latency
-            uop.ex_ticks = uop.actual_ex_ticks = full
-        elif cls is OpClass.DIV:
-            uop.latency_cycles = config.div_latency
-            uop.ex_ticks = uop.actual_ex_ticks = full
-        elif cls is OpClass.FP:
-            uop.latency_cycles = (config.fdiv_latency
-                                  if op is Opcode.FDIV
-                                  else config.fp_latency)
-            uop.ex_ticks = uop.actual_ex_ticks = full
-        elif cls is OpClass.BRANCH:
-            uop.ex_ticks = uop.actual_ex_ticks = full
-        else:  # LOAD / STORE / NOP / HALT
-            uop.ex_ticks = uop.actual_ex_ticks = full
+                return (transparent, 1, self.lut.ex_time(instr), False)
+            if op in SIMD_ACCUMULATE_OPS:
+                return (transparent, config.simd_multicycle_latency,
+                        self.lut.ex_time(instr), False)
+            return (False, config.simd_multicycle_latency, full, False)
+        if cls is OpClass.MUL:
+            return (False, config.mul_latency, full, False)
+        if cls is OpClass.DIV:
+            return (False, config.div_latency, full, False)
+        if cls is OpClass.FP:
+            return (False, config.fdiv_latency if op is Opcode.FDIV
+                    else config.fp_latency, full, False)
+        # BRANCH / LOAD / STORE / NOP / HALT
+        return (False, 1, full, False)
 
     # ------------------------------------------------------------------
     # fetch
@@ -886,14 +1114,18 @@ class CoreSimulator:
             return
         config = self.config
         entries = self.trace.entries
+        entries_total = len(entries)
+        fetch_queue = self._fetch_queue
+        front_width = config.front_width
+        queue_cap = 2 * front_width
         fetched = 0
         taken_seen = 0
-        while (self._fetch_idx < len(entries)
-               and fetched < config.front_width
-               and len(self._fetch_queue) < 2 * config.front_width):
+        while (self._fetch_idx < entries_total
+               and fetched < front_width
+               and len(fetch_queue) < queue_cap):
             idx = self._fetch_idx
             entry = entries[idx]
-            self._fetch_queue.append((idx, entry))
+            fetch_queue.append((idx, entry))
             self._fetch_idx += 1
             fetched += 1
             instr = entry.instr
@@ -901,7 +1133,7 @@ class CoreSimulator:
                 self.obs.emit(Event(EventKind.FETCH, cycle, idx, {
                     "pc": entry.pc, "op": instr.op.name,
                 }))
-            if instr.is_branch():
+            if entry.cls is OpClass.BRANCH:
                 if instr.op is Opcode.B and instr.cond is not Cond.AL:
                     mispredicted = self.branch_pred.update(
                         entry.pc, entry.taken)

@@ -21,13 +21,13 @@ Selection itself (oldest-first, skewed) lives in
 
 from __future__ import annotations
 
-import bisect
-from collections import defaultdict
+from bisect import bisect_left
+from heapq import heappop, heappush
 from typing import Dict, List, Optional
 
 from repro.isa.opcodes import OpClass
 from repro.obs.events import Event, EventKind
-from repro.pipeline.uop import Uop, UopState
+from repro.pipeline.uop import OPCLASS_INDEX, Uop, UopState
 
 from .config import RecycleMode
 from .ticks import TickBase
@@ -68,52 +68,118 @@ class ReadyQueues:
 
     Consumers whose watched tags have all broadcast are *scheduled* to
     wake at their computed wake cycle; each simulated cycle the core
-    drains that cycle's wakeups into per-FU-class pending lists, kept in
-    age (sequence-number) order for oldest-first selection.
+    drains that cycle's wakeups into per-FU-class pending queues, kept
+    in age (sequence-number) order for oldest-first selection.
+
+    The structure is indexed for the event-driven hot loop:
+
+    * wake buckets live in a ``cycle -> [uops]`` map with a min-heap of
+      bucket cycles, so :meth:`next_wake_cycle` (the skip-ahead target)
+      is an O(1) peek and :meth:`advance_to` touches only due buckets;
+    * per-class pending queues are seq-sorted lists addressed by the
+      uop's :data:`~repro.pipeline.uop.OPCLASS_INDEX` (no enum hashing),
+      and :meth:`remove` is an O(1) tombstone (``uop.in_ready`` flips
+      off; the slot is compacted lazily) instead of a list ``pop``;
+    * a uop is never queued twice: re-waking a tombstoned entry
+      resurrects its existing slot, which also makes duplicate
+      ``schedule_wake`` calls harmless.
     """
 
+    __slots__ = ("_wake_at", "_wake_heap", "_queues", "_seqs", "_dead",
+                 "live_total", "obs")
+
     def __init__(self) -> None:
-        self._wake_at: Dict[int, List[Uop]] = defaultdict(list)
-        self._pending: Dict[OpClass, List[Uop]] = defaultdict(list)
-        self._pending_seqs: Dict[OpClass, List[int]] = defaultdict(list)
+        n_classes = len(OPCLASS_INDEX)
+        self._wake_at: Dict[int, List[Uop]] = {}
+        self._wake_heap: List[int] = []
+        self._queues: List[List[Uop]] = [[] for _ in range(n_classes)]
+        self._seqs: List[List[int]] = [[] for _ in range(n_classes)]
+        self._dead: List[int] = [0] * n_classes
+        #: live (selectable) entries across every class — the hot loop's
+        #: "is there anything to select?" check
+        self.live_total = 0
         #: event sink (attached by the simulator on traced runs)
         self.obs = None
 
     def schedule_wake(self, uop: Uop, cycle: int) -> None:
-        self._wake_at[cycle].append(uop)
+        bucket = self._wake_at.get(cycle)
+        if bucket is None:
+            self._wake_at[cycle] = [uop]
+            heappush(self._wake_heap, cycle)
+        else:
+            bucket.append(uop)
+
+    def next_wake_cycle(self) -> Optional[int]:
+        """Earliest cycle with a scheduled wakeup (None when idle)."""
+        return self._wake_heap[0] if self._wake_heap else None
 
     def advance_to(self, cycle: int) -> None:
-        """Drain wakeups due at *cycle* into the pending lists."""
+        """Drain wakeups due at or before *cycle* into the queues."""
+        heap = self._wake_heap
+        if not heap or heap[0] > cycle:
+            return
         obs = self.obs
-        for uop in self._wake_at.pop(cycle, ()):
-            if uop.state is not UopState.DISPATCHED:
-                continue
-            if obs is not None:
-                obs.emit(Event(EventKind.WAKEUP, cycle, uop.seq,
-                               {"fu": uop.fu_class.value}))
-            seqs = self._pending_seqs[uop.fu_class]
-            pos = bisect.bisect_left(seqs, uop.seq)
-            seqs.insert(pos, uop.seq)
-            self._pending[uop.fu_class].insert(pos, uop)
+        wake_at = self._wake_at
+        while heap and heap[0] <= cycle:
+            for uop in wake_at.pop(heappop(heap)):
+                if uop.state is not UopState.DISPATCHED or uop.in_ready:
+                    continue
+                if obs is not None:
+                    obs.emit(Event(EventKind.WAKEUP, cycle, uop.seq,
+                                   {"fu": uop.fu_class.value}))
+                idx = uop.cls_idx
+                seqs = self._seqs[idx]
+                pos = bisect_left(seqs, uop.seq)
+                if pos < len(seqs) and seqs[pos] == uop.seq:
+                    # resurrect this uop's tombstoned slot (seqs are
+                    # unique, so an equal seq is the same uop)
+                    self._dead[idx] -= 1
+                else:
+                    seqs.insert(pos, uop.seq)
+                    self._queues[idx].insert(pos, uop)
+                uop.in_ready = True
+                self.live_total += 1
+
+    def lane(self, idx: int) -> List[Uop]:
+        """The class-*idx* queue list for the simulator's select lanes.
+
+        Returned by reference (compaction mutates it in place, so the
+        simulator may prebuild lane tuples once and keep them); iterate
+        it skipping entries whose ``in_ready`` flag is off.  Compaction
+        is amortised: tombstones are reclaimed once enough accumulate.
+        """
+        if self._dead[idx] > 8:
+            self._compact(idx)
+        return self._queues[idx]
+
+    def _compact(self, idx: int) -> None:
+        queue = self._queues[idx]
+        live = [u for u in queue
+                if u.in_ready and u.state is UopState.DISPATCHED]
+        queue[:] = live
+        self._seqs[idx][:] = [u.seq for u in live]
+        self._dead[idx] = 0
 
     def pending(self, op_class: OpClass) -> List[Uop]:
         """Live pending requests, oldest first (lazily pruned)."""
-        live = [u for u in self._pending[op_class]
-                if u.state is UopState.DISPATCHED]
-        if len(live) != len(self._pending[op_class]):
-            self._pending[op_class] = live
-            self._pending_seqs[op_class] = [u.seq for u in live]
-        return live
+        idx = OPCLASS_INDEX[op_class]
+        queue = self._queues[idx]
+        for uop in queue:
+            if not (uop.in_ready and uop.state is UopState.DISPATCHED):
+                self._compact(idx)
+                break
+        return list(queue)
 
     def remove(self, uop: Uop) -> None:
-        seqs = self._pending_seqs[uop.fu_class]
-        pos = bisect.bisect_left(seqs, uop.seq)
-        if pos < len(seqs) and seqs[pos] == uop.seq:
-            seqs.pop(pos)
-            self._pending[uop.fu_class].pop(pos)
+        if not uop.in_ready:
+            return
+        uop.in_ready = False
+        self._dead[uop.cls_idx] += 1
+        self.live_total -= 1
 
     def has_any_pending(self) -> bool:
-        return any(self.pending(cls) for cls in list(self._pending))
+        return any(u.in_ready and u.state is UopState.DISPATCHED
+                   for queue in self._queues for u in queue)
 
 
 def eager_issue_allowed(parent: Uop, child: Uop, *, mode: RecycleMode,

@@ -25,7 +25,7 @@ bucket, so recycling never overtakes real signal propagation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import (
@@ -34,6 +34,7 @@ from repro.isa.opcodes import (
     SHIFT_OPS,
     SIMD_ACCUMULATE_OPS,
     SIMD_SINGLE_CYCLE_OPS,
+    ShiftOp,
     SimdType,
     is_single_cycle_alu,
 )
@@ -57,6 +58,12 @@ def width_class_index(width: int) -> int:
         if width <= bound:
             return idx
     return len(WIDTH_CLASSES) - 1
+
+
+#: width → class index, precomputed over the in-range widths so the
+#: decode-side fast path is one tuple index instead of a bounds loop
+_WIDTH_TO_CLASS = tuple(width_class_index(w)
+                        for w in range(WIDTH_CLASSES[-1] + 1))
 
 
 @dataclass(frozen=True)
@@ -109,6 +116,11 @@ class SlackLUT:
         self.tick_base = tick_base
         self.pvt_scale = pvt_scale
         self._table: Dict[int, int] = {}
+        #: decode-side fast table, derived from ``_table`` at build
+        #: time: ``(op, flex_shift, width_class) → ticks`` for scalar
+        #: ops, ``(op, SimdType) → ticks`` for SIMD — one flat dict read
+        #: per EX-TIME query instead of a SlackKey build + canonical walk
+        self._fast: Dict[Tuple, int] = {}
         self._build()
 
     # -- design-time construction ---------------------------------------
@@ -139,6 +151,36 @@ class SlackLUT:
             for op in SIMD_SINGLE_CYCLE_OPS:
                 self._store(key, simd_op_delay_ps(op, dtype))
             self._store(key, vmla_accumulate_delay_ps(dtype))
+        self._build_fast()
+
+    def _build_fast(self) -> None:
+        """Flatten the bucket table into the per-opcode fast table.
+
+        Enumerates every (opcode, shift, width-class) the decode stage
+        can ever ask for, resolving the don't-care collapses (SIMD by
+        type; logic/shift independent of width) ahead of time so
+        :meth:`ex_time` is a single dict read.
+        """
+        fast = self._fast
+        fast.clear()
+        n_wc = len(WIDTH_CLASSES)
+        for shift in (False, True):
+            for wc in range(n_wc):
+                for op in ARITH_OPS:
+                    ticks = self.lookup(SlackKey(True, shift, False, wc))
+                    fast[(op, shift, wc)] = ticks
+                for op in LOGICAL_OPS:
+                    ticks = self.lookup(SlackKey(False, shift, False, 3))
+                    fast[(op, shift, wc)] = ticks
+                for op in SHIFT_OPS:
+                    ticks = self.lookup(SlackKey(False, True, False, 3))
+                    fast[(op, shift, wc)] = ticks
+        for dtype, wc in _TYPE_TO_CLASS.items():
+            ticks = self.lookup(SlackKey(False, False, True, wc))
+            for op in SIMD_SINGLE_CYCLE_OPS:
+                fast[(op, dtype)] = ticks
+            for op in SIMD_ACCUMULATE_OPS:
+                fast[(op, dtype)] = ticks
 
     # -- decode-time lookup ----------------------------------------------
 
@@ -170,8 +212,22 @@ class SlackLUT:
 
     def ex_time(self, instr: Instruction,
                 predicted_width: Optional[int] = None) -> int:
-        """EX-TIME in ticks for an instruction (decode-stage read)."""
-        return self.lookup(self.classify(instr, predicted_width))
+        """EX-TIME in ticks for an instruction (decode-stage read).
+
+        Equivalent to ``lookup(classify(instr, predicted_width))`` but
+        served from the precomputed per-opcode fast table — no key
+        object is built per read.
+        """
+        op = instr.op
+        if op in SIMD_SINGLE_CYCLE_OPS or op in SIMD_ACCUMULATE_OPS:
+            return self._fast[(op, instr.dtype or SimdType.I32)]
+        width = 32 if predicted_width is None else predicted_width
+        wc = (_WIDTH_TO_CLASS[width] if 0 <= width <= WIDTH_CLASSES[-1]
+              else len(WIDTH_CLASSES) - 1)
+        ticks = self._fast.get((op, instr.shift is not ShiftOp.NONE, wc))
+        if ticks is None:
+            raise ValueError(f"{op} has no slack bucket (not single-cycle)")
+        return ticks
 
     def slack_ticks(self, key: SlackKey) -> int:
         """Data slack of the bucket: cycle length minus EX-TIME."""

@@ -27,6 +27,9 @@ from .ticks import TickBase
 class ExecTiming:
     """Resolved execution window of one operation."""
 
+    __slots__ = ("start_tick", "end_tick", "avail_tick",
+                 "sync_avail_tick", "extra_cycle_hold", "recycled")
+
     start_tick: int
     end_tick: int
     avail_tick: int        # for transparent consumers

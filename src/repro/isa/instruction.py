@@ -61,7 +61,12 @@ class Instruction:
 
     @property
     def cls(self) -> OpClass:
-        return op_class(self.op)
+        # memoised: the timing pipeline reads this per dynamic uop, and
+        # the opcode never changes after assembly
+        cached = self.__dict__.get("_cls")
+        if cached is None:
+            cached = self.__dict__["_cls"] = op_class(self.op)
+        return cached
 
     def sources(self) -> List[Reg]:
         """All architectural registers this instruction reads."""

@@ -39,6 +39,16 @@ class Reg:
     cls: RegClass
     index: int
 
+    def __post_init__(self) -> None:
+        # precomputed hash: Reg keys the RAT and register file on the
+        # rename hot path, and the generated dataclass hash re-hashes
+        # the RegClass member (a Python-level call) on every dict probe
+        object.__setattr__(self, "_hash",
+                           hash((self.cls.value, self.index)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __repr__(self) -> str:
         if self.cls is RegClass.FLAGS:
             return "flags"

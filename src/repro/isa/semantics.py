@@ -17,11 +17,10 @@ width.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from .instruction import Instruction
-from .opcodes import Cond, Opcode, ShiftOp, SimdType
+from .opcodes import Cond, OpClass, Opcode, ShiftOp, SimdType
 from .registers import FLAGS, Flags, Reg, RegisterFile, WORD_BITS, WORD_MASK
 
 
@@ -79,6 +78,12 @@ def effective_width(value: int, bits: int = WORD_BITS) -> int:
     (sign-extension) — are the Width-Slack source (Sec. II-A); Loh's
     predictor treats both the same way.  Returns at least 1.
     """
+    if bits == WORD_BITS:
+        value &= WORD_MASK
+        if value & 0x80000000:
+            # two's-complement negative: ~signed == WORD_MASK ^ value
+            value ^= WORD_MASK
+        return max(1, value.bit_length() + 1)
     signed = to_signed(value, bits)
     if signed < 0:
         signed = ~signed
@@ -98,20 +103,35 @@ def width_bucket(width: int) -> int:
     return 32
 
 
-@dataclass
 class ExecResult:
-    """Outcome of functionally executing one instruction."""
+    """Outcome of functionally executing one instruction.
 
-    next_pc: int
-    writes: Dict[Reg, int] = field(default_factory=dict)
-    taken: bool = False
-    mem_addr: Optional[int] = None
-    mem_size: int = 0
-    is_store: bool = False
-    store_value: int = 0
-    halted: bool = False
-    #: max effective width over integer source operands (Width-Slack)
-    op_width: int = WORD_BITS
+    A plain ``__slots__`` class (not a dataclass): one is built per
+    dynamic instruction during trace generation, so construction cost
+    is on the functional-simulation hot path.
+    """
+
+    __slots__ = ("next_pc", "writes", "taken", "mem_addr", "mem_size",
+                 "is_store", "store_value", "halted", "op_width")
+
+    def __init__(self, next_pc: int) -> None:
+        self.next_pc = next_pc
+        self.writes: Dict[Reg, int] = {}
+        self.taken = False
+        self.mem_addr: Optional[int] = None
+        self.mem_size = 0
+        self.is_store = False
+        self.store_value = 0
+        self.halted = False
+        #: max effective width over integer source operands (Width-Slack)
+        self.op_width = WORD_BITS
+
+    def __repr__(self) -> str:
+        return (f"ExecResult(next_pc={self.next_pc}, writes={self.writes}, "
+                f"taken={self.taken}, mem_addr={self.mem_addr}, "
+                f"mem_size={self.mem_size}, is_store={self.is_store}, "
+                f"store_value={self.store_value}, halted={self.halted}, "
+                f"op_width={self.op_width})")
 
 
 def _apply_shift(value: int, shift: ShiftOp, amount: int,
@@ -244,6 +264,13 @@ def _simd_lanewise(op: Opcode, a: int, b: int, acc: int,
 
 # --- main dispatch ------------------------------------------------------
 
+#: lanewise SIMD opcodes routed to :func:`_execute_simd` (every V-prefix
+#: op except the vector load/store pair)
+_SIMD_EXEC_OPS = frozenset(
+    op for op in Opcode
+    if op.name.startswith("V") and op not in (Opcode.VLD1, Opcode.VST1))
+
+
 def execute(instr: Instruction, regs: RegisterFile, mem: Memory,
             pc: int) -> ExecResult:
     """Functionally execute *instr*; returns the :class:`ExecResult`.
@@ -253,7 +280,6 @@ def execute(instr: Instruction, regs: RegisterFile, mem: Memory,
     """
     op = instr.op
     res = ExecResult(next_pc=pc + 1)
-    old_flags = regs.flags()
 
     if op is Opcode.HALT:
         res.halted = True
@@ -261,17 +287,18 @@ def execute(instr: Instruction, regs: RegisterFile, mem: Memory,
     if op is Opcode.NOP:
         return res
 
-    if op.name.startswith("V") and op not in (Opcode.VLD1, Opcode.VST1):
+    if op in _SIMD_EXEC_OPS:
         return _execute_simd(instr, regs, res)
-    if instr.is_mem():
+    cls = instr.cls
+    if cls is OpClass.LOAD or cls is OpClass.STORE:
         return _execute_mem(instr, regs, mem, res)
-    if instr.is_branch():
+    if cls is OpClass.BRANCH:
         return _execute_branch(instr, regs, pc, res)
     if op in (Opcode.MUL, Opcode.MLA, Opcode.SDIV, Opcode.UDIV):
         return _execute_multicycle(instr, regs, res)
     if op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV):
         return _execute_fp(instr, regs, res)
-    return _execute_alu(instr, regs, res, old_flags)
+    return _execute_alu(instr, regs, res, regs.flags())
 
 
 def _operand2(instr: Instruction, regs: RegisterFile,
@@ -290,6 +317,12 @@ def _operand2(instr: Instruction, regs: RegisterFile,
     return value, carry, effective_width(raw)
 
 
+#: standalone shift opcode → the barrel-shifter operation it performs
+_SHIFT_OP_MAP = {Opcode.LSL: ShiftOp.LSL, Opcode.LSR: ShiftOp.LSR,
+                 Opcode.ASR: ShiftOp.ASR, Opcode.ROR: ShiftOp.ROR,
+                 Opcode.RRX: ShiftOp.RRX}
+
+
 def _execute_alu(instr: Instruction, regs: RegisterFile, res: ExecResult,
                  old_flags: Flags) -> ExecResult:
     op = instr.op
@@ -299,10 +332,8 @@ def _execute_alu(instr: Instruction, regs: RegisterFile, res: ExecResult,
     if op in (Opcode.LSL, Opcode.LSR, Opcode.ASR, Opcode.ROR, Opcode.RRX):
         amount = (regs.read(instr.rm) & 0xFF if instr.rm is not None
                   else (instr.imm or 0))
-        shift_map = {Opcode.LSL: ShiftOp.LSL, Opcode.LSR: ShiftOp.LSR,
-                     Opcode.ASR: ShiftOp.ASR, Opcode.ROR: ShiftOp.ROR,
-                     Opcode.RRX: ShiftOp.RRX}
-        result, carry = _apply_shift(rn_val, shift_map[op], amount, carry_in)
+        result, carry = _apply_shift(rn_val, _SHIFT_OP_MAP[op], amount,
+                                     carry_in)
         res.op_width = effective_width(rn_val)
         res.writes[instr.rd] = result
         if instr.set_flags:
@@ -313,41 +344,49 @@ def _execute_alu(instr: Instruction, regs: RegisterFile, res: ExecResult,
     res.op_width = max(
         effective_width(rn_val) if instr.rn is not None else 1, op2_width)
 
-    logical = {
-        Opcode.AND: lambda: rn_val & op2,
-        Opcode.ORR: lambda: rn_val | op2,
-        Opcode.EOR: lambda: rn_val ^ op2,
-        Opcode.BIC: lambda: rn_val & ~op2 & WORD_MASK,
-        Opcode.MVN: lambda: ~op2 & WORD_MASK,
-        Opcode.MOV: lambda: op2,
-        Opcode.TST: lambda: rn_val & op2,
-        Opcode.TEQ: lambda: rn_val ^ op2,
-    }
-    if op in logical:
-        result = logical[op]() & WORD_MASK
-        if op not in (Opcode.TST, Opcode.TEQ):
+    # logical group
+    if op is Opcode.AND or op is Opcode.TST:
+        result = rn_val & op2
+    elif op is Opcode.ORR:
+        result = rn_val | op2
+    elif op is Opcode.EOR or op is Opcode.TEQ:
+        result = rn_val ^ op2
+    elif op is Opcode.BIC:
+        result = rn_val & ~op2
+    elif op is Opcode.MVN:
+        result = ~op2
+    elif op is Opcode.MOV:
+        result = op2
+    else:
+        result = None
+    if result is not None:
+        result &= WORD_MASK
+        if op is not Opcode.TST and op is not Opcode.TEQ:
             res.writes[instr.rd] = result
-        if instr.set_flags or op in (Opcode.TST, Opcode.TEQ):
+        if instr.set_flags or op is Opcode.TST or op is Opcode.TEQ:
             res.writes[FLAGS] = _logical_flags(
                 result, shifter_carry, old_flags).pack()
         return res
 
     # arithmetic group
-    arith = {
-        Opcode.ADD: (rn_val, op2, 0),
-        Opcode.CMN: (rn_val, op2, 0),
-        Opcode.SUB: (rn_val, ~op2 & WORD_MASK, 1),
-        Opcode.CMP: (rn_val, ~op2 & WORD_MASK, 1),
-        Opcode.RSB: (op2, ~rn_val & WORD_MASK, 1),
-        Opcode.ADC: (rn_val, op2, int(carry_in)),
-        Opcode.SBC: (rn_val, ~op2 & WORD_MASK, int(carry_in)),
-        Opcode.RSC: (op2, ~rn_val & WORD_MASK, int(carry_in)),
-    }
-    a, b, cin = arith[op]
+    if op is Opcode.ADD or op is Opcode.CMN:
+        a, b, cin = rn_val, op2, 0
+    elif op is Opcode.SUB or op is Opcode.CMP:
+        a, b, cin = rn_val, ~op2 & WORD_MASK, 1
+    elif op is Opcode.RSB:
+        a, b, cin = op2, ~rn_val & WORD_MASK, 1
+    elif op is Opcode.ADC:
+        a, b, cin = rn_val, op2, int(carry_in)
+    elif op is Opcode.SBC:
+        a, b, cin = rn_val, ~op2 & WORD_MASK, int(carry_in)
+    elif op is Opcode.RSC:
+        a, b, cin = op2, ~rn_val & WORD_MASK, int(carry_in)
+    else:
+        raise KeyError(op)
     result, flags = _add_with_carry(a, b, cin)
-    if op not in (Opcode.CMP, Opcode.CMN):
+    if op is not Opcode.CMP and op is not Opcode.CMN:
         res.writes[instr.rd] = result
-    if instr.set_flags or op in (Opcode.CMP, Opcode.CMN):
+    if instr.set_flags or op is Opcode.CMP or op is Opcode.CMN:
         res.writes[FLAGS] = flags.pack()
     return res
 

@@ -33,11 +33,14 @@ class CacheStats:
         return 1.0 - self.miss_rate if self.accesses else 0.0
 
 
-@dataclass
 class _Line:
-    tag: int
-    dirty: bool = False
-    prefetched: bool = False
+    __slots__ = ("tag", "dirty", "prefetched")
+
+    def __init__(self, tag: int, dirty: bool = False,
+                 prefetched: bool = False) -> None:
+        self.tag = tag
+        self.dirty = dirty
+        self.prefetched = prefetched
 
 
 class Cache:

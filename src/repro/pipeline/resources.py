@@ -37,18 +37,24 @@ class FUStats:
 class FUPool:
     """Reservation table for one class of functional units."""
 
+    __slots__ = ("op_class", "count", "_busy")
+
     def __init__(self, op_class: OpClass, count: int) -> None:
         self.op_class = op_class
         self.count = count
-        self._busy: Dict[int, int] = defaultdict(int)
+        # plain dict + .get: a defaultdict would insert a zero entry for
+        # every cycle ever *queried*, which the per-cycle free_at probes
+        # turn into unbounded growth (and release_past scan time)
+        self._busy: Dict[int, int] = {}
 
     def free_at(self, cycle: int) -> int:
-        return self.count - self._busy[cycle]
+        return self.count - self._busy.get(cycle, 0)
 
     def can_reserve(self, cycle: int, *, extra_cycle: bool = False) -> bool:
-        if self._busy[cycle] >= self.count:
+        busy = self._busy
+        if busy.get(cycle, 0) >= self.count:
             return False
-        if extra_cycle and self._busy[cycle + 1] >= self.count:
+        if extra_cycle and busy.get(cycle + 1, 0) >= self.count:
             return False
         return True
 
@@ -56,9 +62,28 @@ class FUPool:
         if not self.can_reserve(cycle, extra_cycle=extra_cycle):
             raise RuntimeError(
                 f"{self.op_class}: no free unit at cycle {cycle}")
-        self._busy[cycle] += 1
+        busy = self._busy
+        busy[cycle] = busy.get(cycle, 0) + 1
         if extra_cycle:
-            self._busy[cycle + 1] += 1
+            busy[cycle + 1] = busy.get(cycle + 1, 0) + 1
+
+    def try_reserve(self, cycle: int, *, extra_cycle: bool = False) -> bool:
+        """Reserve if a unit is free; one probe for the check + claim.
+
+        Fused ``can_reserve`` + ``reserve`` for the issue hot path —
+        ``reserve`` alone re-validates, doubling the dict probes.
+        """
+        busy = self._busy
+        n = busy.get(cycle, 0)
+        if n >= self.count:
+            return False
+        if extra_cycle:
+            m = busy.get(cycle + 1, 0)
+            if m >= self.count:
+                return False
+            busy[cycle + 1] = m + 1
+        busy[cycle] = n + 1
+        return True
 
     def release_past(self, cycle: int) -> None:
         """Drop bookkeeping for cycles before *cycle* (memory hygiene)."""

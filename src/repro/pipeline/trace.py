@@ -30,7 +30,7 @@ class TraceEntry:
     """One dynamic instruction with its functional outcome."""
 
     __slots__ = ("instr", "pc", "next_pc", "taken", "op_width", "mem_addr",
-                 "mem_size", "is_store")
+                 "mem_size", "is_store", "cls")
 
     instr: Instruction
     pc: int
@@ -40,6 +40,11 @@ class TraceEntry:
     mem_addr: Optional[int]
     mem_size: int
     is_store: bool
+
+    def __post_init__(self) -> None:
+        # not a field: the op class is derived, cached per entry so the
+        # fetch/dispatch hot paths read a slot instead of a property
+        self.cls = self.instr.cls
 
 
 @dataclass
@@ -71,17 +76,22 @@ def generate_trace(program: Program, *,
     entries: List[TraceEntry] = []
     pc = program.entry
     instrs = program.instructions
-    while len(entries) < max_instructions:
+    append = entries.append
+    write_reg = regs.write
+    write_mem = mem.write
+    count = 0
+    while count < max_instructions:
         instr = instrs[pc]
         result = execute(instr, regs, mem, pc)
-        entries.append(TraceEntry(
+        append(TraceEntry(
             instr=instr, pc=pc, next_pc=result.next_pc, taken=result.taken,
             op_width=result.op_width, mem_addr=result.mem_addr,
             mem_size=result.mem_size, is_store=result.is_store))
+        count += 1
         for reg, value in result.writes.items():
-            regs.write(reg, value)
+            write_reg(reg, value)
         if result.is_store:
-            mem.write(result.mem_addr, result.store_value, result.mem_size)
+            write_mem(result.mem_addr, result.store_value, result.mem_size)
         if result.halted:
             break
         pc = result.next_pc

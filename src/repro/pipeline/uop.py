@@ -18,6 +18,13 @@ class UopState(enum.Enum):
     COMMITTED = "committed"
 
 
+#: Stable small-integer index per :class:`OpClass` (definition order).
+#: The hot scheduler paths index plain lists with it instead of hashing
+#: enum members — ``Enum.__hash__`` is a Python-level call and shows up
+#: hot when every wakeup/select touches per-class dicts.
+OPCLASS_INDEX = {cls: idx for idx, cls in enumerate(OpClass)}
+
+
 class Uop:
     """One in-flight dynamic instruction.
 
@@ -36,7 +43,7 @@ class Uop:
 
     __slots__ = (
         "seq", "entry", "sources", "dependents", "state",
-        "fu_class", "latency_cycles", "transparent",
+        "fu_class", "cls_idx", "in_ready", "latency_cycles", "transparent",
         "ex_ticks", "actual_ex_ticks", "predicted_width",
         "watched_parent", "watched_grandparent", "second_predicted_last",
         "pending_sources", "eligible_cycle", "issue_cycle",
@@ -53,7 +60,12 @@ class Uop:
         self.sources: List[Optional["Uop"]] = []
         self.dependents: List["Uop"] = []
         self.state = UopState.DISPATCHED
-        self.fu_class: OpClass = entry.instr.cls
+        self.fu_class: OpClass = entry.cls
+        self.cls_idx = OPCLASS_INDEX[self.fu_class]
+        #: live entry in the ready (pending-select) queue of its class;
+        #: cleared by ReadyQueues.remove (tombstone — the queue slot is
+        #: reclaimed lazily, so removal is O(1))
+        self.in_ready = False
         self.latency_cycles = 1
         self.transparent = False
         self.ex_ticks = 0

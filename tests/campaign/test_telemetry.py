@@ -34,13 +34,24 @@ class TestJobSpans:
             assert "simulate" not in record.spans
             assert "cache_probe" in record.spans
 
+    def test_sim_throughput_on_misses_only(self, tmp_path):
+        cache = tmp_path / "cache"
+        cold = run_campaign(JOBS, cache_dir=cache)
+        for record in cold.records:
+            assert record.sim_cycles_per_sec is not None
+            assert record.sim_cycles_per_sec == pytest.approx(
+                record.cycles / record.spans["simulate"], rel=1e-2)
+        warm = run_campaign(JOBS, cache_dir=cache)
+        for record in warm.records:
+            assert record.sim_cycles_per_sec is None
+
     def test_span_totals_aggregate(self, tmp_path):
         result = run_campaign(JOBS, cache_dir=tmp_path / "cache")
         totals = result.span_totals()
         assert totals["simulate"] == pytest.approx(
             sum(r.spans["simulate"] for r in result.records), abs=1e-3)
         payload = result.to_payload()
-        assert payload["schema"] == 2
+        assert payload["schema"] == 3
         assert payload["telemetry"]["span_totals_s"] == totals
         assert payload["telemetry"]["workers_used"] == \
             sorted({r.worker for r in result.records})

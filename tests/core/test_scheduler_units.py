@@ -109,6 +109,49 @@ class TestReadyQueues:
         queues.remove(a)
         assert queues.pending(OpClass.ALU) == [b]
 
+    def test_removed_uop_rewoken_appears_exactly_once(self):
+        # tombstone remove + re-wake must resurrect the existing slot,
+        # never queue a second copy (a duplicate would double-issue)
+        queues = ReadyQueues()
+        uop = make_uop(1)
+        queues.schedule_wake(uop, 1)
+        queues.advance_to(1)
+        queues.remove(uop)
+        assert queues.pending(OpClass.ALU) == []
+        queues.schedule_wake(uop, 2)
+        queues.schedule_wake(uop, 3)   # duplicate wake: harmless
+        queues.advance_to(3)
+        assert queues.pending(OpClass.ALU) == [uop]
+        assert queues._queues[uop.cls_idx].count(uop) == 1
+        assert queues.live_total == 1
+
+    def test_duplicate_wake_of_live_uop_not_requeued(self):
+        queues = ReadyQueues()
+        uop = make_uop(1)
+        queues.schedule_wake(uop, 1)
+        queues.schedule_wake(uop, 1)
+        queues.advance_to(1)
+        assert queues.pending(OpClass.ALU) == [uop]
+        assert queues.live_total == 1
+
+    def test_compaction_preserves_order_and_liveness(self):
+        # push enough tombstones to trip the amortised compaction and
+        # check the survivors stay age-ordered with no duplicates
+        queues = ReadyQueues()
+        uops = [make_uop(seq) for seq in range(12)]
+        for uop in uops:
+            queues.schedule_wake(uop, 1)
+        queues.advance_to(1)
+        for uop in uops[:10]:
+            queues.remove(uop)
+        lane = queues.lane(uops[0].cls_idx)    # triggers _compact
+        assert lane == uops[10:]
+        assert queues.live_total == 2
+        # a removed-then-rewoken uop re-enters in age order, once
+        queues.schedule_wake(uops[3], 2)
+        queues.advance_to(2)
+        assert [u.seq for u in queues.pending(OpClass.ALU)] == [3, 10, 11]
+
     def test_stale_wake_of_issued_uop_ignored(self):
         queues = ReadyQueues()
         uop = make_uop(1)
