@@ -1,10 +1,15 @@
 #!/usr/bin/env python
 """Core-simulator throughput benchmark (sim-cycles per second).
 
-Times every selected ``(suite, bench, core, mode)`` job two ways:
+Times every selected ``(suite, bench, core, mode)`` job **per engine**
+(schema 2) and two ways per engine:
 
 * **cold** — trace generation plus simulation, the cost of a
-  first-ever run of a job (what a forced campaign pays per miss);
+  first-ever run of a job (what a forced campaign pays per miss).  The
+  compiled engine generates its trace through the codegen'd per-block
+  step functions (:mod:`repro.pipeline.codegen`); program lowering
+  itself is compiled once per process and amortised, exactly like the
+  trace memo on the warm path;
 * **warm** — simulation alone against a pre-generated trace, the
   steady-state cost once the per-process trace memo is hot.
 
@@ -14,17 +19,28 @@ standard ``timeit`` practice): wall-clock on shared runners jitters by
 noise is strictly additive.  A throwaway warm-up run precedes timing so
 allocator and bytecode-cache effects land outside the window.
 
-Results go to ``BENCH_core.json``.  ``--check`` gates against a
-committed reference (``benchmarks/core_reference.json``): aggregate
-cold and warm cost must stay within ``--tolerance`` (default 10%) of
-the reference **in machine-normalised units** — a short pure-Python
-calibration probe is timed immediately before every repeat, each
-repeat's wall time is expressed in multiples of its adjacent probe
-("quanta"), and the gate compares min-of-N quanta.  Pinning the probe
-next to the measurement cancels both host CPU speed and slow load
-drift, so the gate tracks simulator efficiency, not runner weather::
+Results go to ``BENCH_core.json`` with one row per
+``(job, engine)`` and one aggregate per engine.  ``--check`` gates
+against a committed reference (``benchmarks/core_reference.json``):
 
-    python benchmarks/bench_core.py --smoke --check
+* per-engine aggregate cold and warm cost must stay within
+  ``--tolerance`` (default 10%) of the reference **in
+  machine-normalised units** — a short pure-Python calibration probe is
+  timed immediately before every repeat, each repeat's wall time is
+  expressed in multiples of its adjacent probe ("quanta"), and the gate
+  compares min-of-N quanta;
+* engines listed under the reference's ``floors`` section must beat
+  their absolute ``min_cold_cyc_per_s`` floor (a loose machine-speed
+  sanity bound, deliberately far below typical measurements);
+* every job's simulated cycle count must match the reference row for
+  the same engine, and all engines must agree on every job's cycle
+  count within the run itself (backend bit-identity).
+
+Gate failures name the offending engine and bench row.
+
+::
+
+    python benchmarks/bench_core.py --smoke --check --engines fast
     python benchmarks/bench_core.py --smoke --update-reference
 """
 
@@ -34,6 +50,7 @@ import argparse
 import json
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
 if __package__ in (None, ""):
@@ -41,7 +58,9 @@ if __package__ in (None, ""):
 
 from repro.campaign.jobs import (enumerate_jobs, job_config,  # noqa: E402
                                  smoke_jobs)
+from repro.core import ENGINES  # noqa: E402
 from repro.core.cpu import simulate  # noqa: E402
+from repro.pipeline.codegen import generate_trace_compiled  # noqa: E402
 from repro.pipeline.trace import generate_trace  # noqa: E402
 from repro.workloads.suites import SUITES, default_scale  # noqa: E402
 
@@ -49,7 +68,7 @@ DEFAULT_REFERENCE = Path(__file__).parent / "core_reference.json"
 DEFAULT_OUTPUT = Path("BENCH_core.json")
 DEFAULT_REPEATS = 3
 DEFAULT_TOLERANCE = 0.10
-SCHEMA = 1
+SCHEMA = 2
 
 #: iteration count of the machine-speed calibration probe; sized so one
 #: pass takes ~25 ms on a 2020s-era core — cheap enough to run before
@@ -84,13 +103,22 @@ def _build_program(job):
     return builder(**kwargs)
 
 
-def _time_job(job, repeats: int):
-    """Min-of-N cold and warm timings for one job."""
-    program = _build_program(job)
-    config = job_config(job)
+def _generator_for(engine: str):
+    """The trace generator a cold run of *engine* pays for."""
+    if engine == "compiled":
+        return generate_trace_compiled
+    return generate_trace
 
-    # warm-up: one untimed full pass (also yields the reusable trace)
-    trace = generate_trace(program)
+
+def _time_job(job, repeats: int, engine: str):
+    """Min-of-N cold and warm timings for one job on one engine."""
+    program = _build_program(job)
+    config = replace(job_config(job), engine=engine)
+    gen = _generator_for(engine)
+
+    # warm-up: one untimed full pass (also yields the reusable trace
+    # and, for the compiled engine, the per-program lowering)
+    trace = gen(program)
     result = simulate(trace, config)
     cycles = result.cycles
 
@@ -100,7 +128,7 @@ def _time_job(job, repeats: int):
         probe = _calibrate()
 
         start = time.perf_counter()
-        cold_trace = generate_trace(program)
+        cold_trace = gen(program)
         mid = time.perf_counter()
         simulate(cold_trace, config)
         end = time.perf_counter()
@@ -127,6 +155,7 @@ def _time_job(job, repeats: int):
     return {
         "suite": job.suite, "bench": job.bench,
         "core": job.core, "mode": job.mode,
+        "engine": engine,
         "cycles": cycles,
         "trace_gen_s": round(best_gen, 6),
         "cold_s": round(cold_s, 6),
@@ -140,80 +169,131 @@ def _time_job(job, repeats: int):
     }
 
 
-def run_bench(jobs, repeats: int, *, quiet: bool = False) -> dict:
-    """Benchmark *jobs* and return the ``BENCH_core.json`` payload."""
+def run_bench(jobs, repeats: int, engines, *, quiet: bool = False) -> dict:
+    """Benchmark *jobs* on *engines*; returns the BENCH_core payload."""
+    jobs = list(jobs)
     rows = []
-    total_cycles = 0
-    total_cold = total_warm = 0.0
-    total_cold_q = total_warm_q = 0.0
-    for job in jobs:
-        row = _time_job(job, repeats)
-        rows.append(row)
-        total_cycles += row["cycles"]
-        total_cold += row["cold_s"]
-        total_warm += row["warm_s"]
-        total_cold_q += row["cold_quanta"]
-        total_warm_q += row["warm_quanta"]
+    aggregates = {}
+    for engine in engines:
+        total_cycles = 0
+        total_cold = total_warm = 0.0
+        total_cold_q = total_warm_q = 0.0
+        for job in jobs:
+            row = _time_job(job, repeats, engine)
+            rows.append(row)
+            total_cycles += row["cycles"]
+            total_cold += row["cold_s"]
+            total_warm += row["warm_s"]
+            total_cold_q += row["cold_quanta"]
+            total_warm_q += row["warm_quanta"]
+            if not quiet:
+                print(f"  [{engine:>9s}] {job.label:35s} "
+                      f"cold {row['cold_s']:6.3f}s "
+                      f"({row['cold_cyc_per_s']:>9,.0f} cyc/s)  "
+                      f"warm {row['warm_s']:6.3f}s "
+                      f"({row['warm_cyc_per_s']:>9,.0f} cyc/s)")
+        aggregates[engine] = {
+            "cycles": total_cycles,
+            "cold_s": round(total_cold, 3),
+            "warm_s": round(total_warm, 3),
+            "cold_cyc_per_s": round(total_cycles / total_cold, 1),
+            "warm_cyc_per_s": round(total_cycles / total_warm, 1),
+            "cold_quanta": round(total_cold_q, 3),
+            "warm_quanta": round(total_warm_q, 3),
+        }
         if not quiet:
-            print(f"  {job.label:35s} cold {row['cold_s']:6.3f}s "
-                  f"({row['cold_cyc_per_s']:>9,.0f} cyc/s)  "
-                  f"warm {row['warm_s']:6.3f}s "
-                  f"({row['warm_cyc_per_s']:>9,.0f} cyc/s)")
-    aggregate = {
-        "cycles": total_cycles,
-        "cold_s": round(total_cold, 3),
-        "warm_s": round(total_warm, 3),
-        "cold_cyc_per_s": round(total_cycles / total_cold, 1),
-        "warm_cyc_per_s": round(total_cycles / total_warm, 1),
-        "cold_quanta": round(total_cold_q, 3),
-        "warm_quanta": round(total_warm_q, 3),
-    }
-    if not quiet:
-        print(f"aggregate: cold {aggregate['cold_cyc_per_s']:,.0f} cyc/s, "
-              f"warm {aggregate['warm_cyc_per_s']:,.0f} cyc/s "
-              f"({total_cycles} cycles, {len(rows)} jobs)")
+            agg = aggregates[engine]
+            print(f"aggregate [{engine}]: "
+                  f"cold {agg['cold_cyc_per_s']:,.0f} cyc/s, "
+                  f"warm {agg['warm_cyc_per_s']:,.0f} cyc/s "
+                  f"({total_cycles} cycles, {len(jobs)} jobs)")
     return {
         "schema": SCHEMA,
         "repeats": repeats,
         "calibration_iters": _CALIBRATION_ITERS,
+        "engines": list(engines),
         "jobs": rows,
-        "aggregate": aggregate,
+        "aggregates": aggregates,
     }
+
+
+def _row_key(row):
+    return (row["suite"], row["bench"], row["core"], row["mode"])
+
+
+def _row_label(row):
+    return "/".join(_row_key(row)) + f" [{row['engine']}]"
 
 
 def check_against_reference(payload: dict, reference: dict,
                             tolerance: float):
-    """Return drift failures of *payload* vs *reference*.
+    """Return drift failures of *payload* vs *reference* (schema 2).
 
-    Costs are compared in calibration quanta (wall time divided by the
-    adjacent probe's time), which cancels the host's raw CPU speed and
-    slow background-load drift.  Lower quanta = faster simulator.
+    Costs are compared per engine in calibration quanta (wall time
+    divided by the adjacent probe's time), which cancels the host's raw
+    CPU speed and slow background-load drift.  Lower quanta = faster
+    simulator.  Every failure message names the engine and, for
+    row-level checks, the offending bench row.
     """
     failures = []
-    for metric in ("cold_quanta", "warm_quanta"):
-        got = payload["aggregate"][metric]
-        ref = reference["aggregate"][metric]
-        ratio = got / ref
-        if ratio > 1.0 + tolerance:
+    ref_aggs = reference.get("aggregates", {})
+    for engine, agg in payload["aggregates"].items():
+        ref_agg = ref_aggs.get(engine)
+        if ref_agg is None:
+            failures.append(f"engine {engine!r}: no reference aggregate "
+                            "— regenerate with --update-reference")
+            continue
+        for metric in ("cold_quanta", "warm_quanta"):
+            ratio = agg[metric] / ref_agg[metric]
+            if ratio > 1.0 + tolerance:
+                failures.append(
+                    f"engine {engine!r} aggregate {metric}: "
+                    f"{ratio - 1.0:.1%} above reference "
+                    f"({agg[metric]:,.1f} vs {ref_agg[metric]:,.1f} "
+                    f"quanta — slower)")
+
+    # absolute throughput floors (loose machine-speed sanity bounds)
+    for engine, floor in reference.get("floors", {}).items():
+        agg = payload["aggregates"].get(engine)
+        minimum = floor.get("min_cold_cyc_per_s")
+        if agg is None or minimum is None:
+            continue
+        if agg["cold_cyc_per_s"] < minimum:
             failures.append(
-                f"aggregate {metric}: {ratio - 1.0:.1%} above reference "
-                f"({got:,.1f} vs {ref:,.1f} quanta — slower)")
-    new_jobs = {(r["suite"], r["bench"], r["core"], r["mode"])
-                for r in payload["jobs"]}
-    ref_jobs = {(r["suite"], r["bench"], r["core"], r["mode"])
-                for r in reference["jobs"]}
-    for key in sorted(ref_jobs - new_jobs):
-        failures.append("missing job vs reference: " + "/".join(key))
+                f"engine {engine!r} aggregate cold throughput "
+                f"{agg['cold_cyc_per_s']:,.0f} cyc/s is below its floor "
+                f"of {minimum:,.0f} cyc/s")
+
+    # per-row cycle identity vs the reference for the same engine
+    ref_rows = {(_row_key(r), r["engine"]): r
+                for r in reference.get("jobs", [])}
+    measured_engines = set(payload["aggregates"])
+    for (key, engine), ref_row in sorted(ref_rows.items()):
+        if engine in measured_engines and \
+                (key, engine) not in {(_row_key(r), r["engine"])
+                                      for r in payload["jobs"]}:
+            failures.append("missing job vs reference: "
+                            + "/".join(key) + f" [{engine}]")
     for row in payload["jobs"]:
-        key = (row["suite"], row["bench"], row["core"], row["mode"])
-        ref_row = next((r for r in reference["jobs"]
-                        if (r["suite"], r["bench"], r["core"],
-                            r["mode"]) == key), None)
+        ref_row = ref_rows.get((_row_key(row), row["engine"]))
         if ref_row is not None and row["cycles"] != ref_row["cycles"]:
             failures.append(
-                f"{'/'.join(key)}: simulated cycles changed "
+                f"{_row_label(row)}: simulated cycles changed "
                 f"(ref {ref_row['cycles']}, got {row['cycles']}) — "
                 f"timing-model change, update the reference")
+
+    # backend bit-identity inside this run: every engine must report
+    # the same cycle count for the same job
+    by_job = {}
+    for row in payload["jobs"]:
+        by_job.setdefault(_row_key(row), []).append(row)
+    for key, rows in sorted(by_job.items()):
+        cycles = {r["cycles"] for r in rows}
+        if len(cycles) > 1:
+            detail = ", ".join(f"{r['engine']}={r['cycles']}"
+                               for r in rows)
+            failures.append("cross-engine cycle mismatch on "
+                            + "/".join(key) + f": {detail}")
     return failures
 
 
@@ -226,6 +306,10 @@ def main(argv=None):
     parser.add_argument("--suites", nargs="*", default=None)
     parser.add_argument("--cores", nargs="*", default=None)
     parser.add_argument("--modes", nargs="*", default=None)
+    parser.add_argument("--engines", nargs="+", metavar="ENGINE",
+                        choices=list(ENGINES.names()), default=None,
+                        help="simulation backends to measure "
+                             "(default: all registered engines)")
     parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
                         help="timing repeats per job; each metric is "
                              "the minimum (default: 3)")
@@ -237,14 +321,17 @@ def main(argv=None):
                         help="reference JSON for --check / "
                              "--update-reference")
     parser.add_argument("--check", action="store_true",
-                        help="fail if aggregate throughput regresses "
-                             "more than --tolerance vs the reference "
-                             "(machine-speed normalised)")
+                        help="fail if any engine regresses more than "
+                             "--tolerance vs the reference "
+                             "(machine-speed normalised), misses its "
+                             "floor, or breaks cycle identity")
     parser.add_argument("--tolerance", type=float,
                         default=DEFAULT_TOLERANCE,
                         help="max relative regression (default: 0.10)")
     parser.add_argument("--update-reference", action="store_true",
-                        help="rewrite the reference from this run")
+                        help="rewrite the reference from this run "
+                             "(preserves a hand-maintained floors "
+                             "section)")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -253,8 +340,9 @@ def main(argv=None):
     else:
         jobs = enumerate_jobs(suites=args.suites, cores=args.cores,
                               modes=args.modes)
+    engines = args.engines or list(ENGINES.names())
 
-    payload = run_bench(jobs, args.repeats, quiet=args.quiet)
+    payload = run_bench(jobs, args.repeats, engines, quiet=args.quiet)
 
     with open(args.output, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
@@ -262,6 +350,11 @@ def main(argv=None):
     print(f"wrote {args.output}")
 
     if args.update_reference:
+        if args.reference.is_file():
+            with open(args.reference, "r", encoding="utf-8") as fh:
+                floors = json.load(fh).get("floors")
+            if floors:
+                payload = dict(payload, floors=floors)
         with open(args.reference, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
@@ -283,7 +376,7 @@ def main(argv=None):
             for failure in failures:
                 print(f"  - {failure}")
             return 1
-        print(f"core-bench gate OK: aggregate throughput within "
+        print(f"core-bench gate OK: every engine within "
               f"{args.tolerance:.0%} of reference")
     return 0
 

@@ -36,6 +36,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.core import ENGINES
 from repro.core.cpu import CoreSimulator, simulate
 from repro.obs import Recorder, write_chrome_trace, write_events_jsonl, \
     write_metrics_jsonl
@@ -102,6 +103,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=int, default=None,
                      help="uniform scale override (default: per-suite "
                           "evaluation scales)")
+    run.add_argument("--engine", choices=list(ENGINES.names()),
+                     default=None,
+                     help="pin every job to one simulation backend "
+                          "(default: the config default; all engines "
+                          "are cycle-identical)")
     run.add_argument("--smoke", action="store_true",
                      help="one small benchmark per suite on the small "
                           "core (the CI smoke set)")
@@ -159,12 +165,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.smoke:
-        jobs = smoke_jobs(modes=args.modes, scale=args.scale)
+        jobs = smoke_jobs(modes=args.modes, scale=args.scale,
+                          engine=args.engine)
     else:
         jobs = enumerate_jobs(suites=args.suites,
                               benchmarks=args.benchmarks,
                               cores=args.cores, modes=args.modes,
-                              scale=args.scale)
+                              scale=args.scale, engine=args.engine)
     if not jobs:
         print("no jobs selected", file=sys.stderr)
         return 2

@@ -9,10 +9,10 @@ by :func:`job_trace` / :func:`job_config`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core import CORES, CoreConfig, RecycleMode
+from repro.core import CORES, CoreConfig, ENGINES, RecycleMode
 from repro.pipeline.trace import Trace, generate_trace
 from repro.workloads.suites import SUITES, default_scale
 
@@ -31,13 +31,22 @@ SMOKE_BENCHMARKS: Dict[str, str] = {
 
 @dataclass(frozen=True, order=True)
 class CampaignJob:
-    """One (suite, benchmark, core, mode) simulation request."""
+    """One (suite, benchmark, core, mode) simulation request.
+
+    ``engine`` picks the simulation backend; ``None`` means the config
+    default.  Every registered engine is cycle-identical (CI-enforced),
+    so the engine is not part of a job's identity — labels and
+    regression-reference keys stay engine-free on purpose, which is
+    what lets the backend-equivalence matrix diff engines against one
+    shared reference.
+    """
 
     suite: str
     bench: str
     core: str
     mode: str
     scale: Optional[int] = None
+    engine: Optional[str] = None
 
     @property
     def label(self) -> str:
@@ -57,16 +66,20 @@ def enumerate_jobs(suites: Optional[Sequence[str]] = None,
                    benchmarks: Optional[Sequence[str]] = None,
                    cores: Optional[Sequence[str]] = None,
                    modes: Optional[Sequence[str]] = None,
-                   scale: Optional[int] = None) -> List[CampaignJob]:
+                   scale: Optional[int] = None,
+                   engine: Optional[str] = None) -> List[CampaignJob]:
     """Expand a selection into evaluation-ordered jobs.
 
     ``None`` means "all".  *benchmarks* filters within the selected
     suites; a benchmark name that matches no selected suite is an
     error, so typos fail loudly instead of silently shrinking the run.
+    *engine* pins every job to one simulation backend.
     """
     suites = _validate("suite(s)", suites or SUITE_ORDER, tuple(SUITES))
     cores = _validate("core(s)", cores or CORE_ORDER, tuple(CORES))
     modes = _validate("mode(s)", modes or MODE_ORDER, MODE_ORDER)
+    if engine is not None:
+        _validate("engine(s)", [engine], ENGINES.names())
 
     if benchmarks is not None:
         all_benches = {b for s in suites for b in SUITES[s]}
@@ -80,18 +93,19 @@ def enumerate_jobs(suites: Optional[Sequence[str]] = None,
             for core in cores:
                 for mode in modes:
                     jobs.append(CampaignJob(suite, bench, core, mode,
-                                            scale=scale))
+                                            scale=scale, engine=engine))
     return jobs
 
 
 def smoke_jobs(modes: Optional[Sequence[str]] = None,
-               scale: Optional[int] = None) -> List[CampaignJob]:
+               scale: Optional[int] = None,
+               engine: Optional[str] = None) -> List[CampaignJob]:
     """The CI smoke set: one small benchmark per suite, small core."""
     jobs: List[CampaignJob] = []
     for suite in SUITE_ORDER:
         jobs.extend(enumerate_jobs(
             suites=[suite], benchmarks=[SMOKE_BENCHMARKS[suite]],
-            cores=["small"], modes=modes, scale=scale))
+            cores=["small"], modes=modes, scale=scale, engine=engine))
     return jobs
 
 
@@ -116,5 +130,9 @@ def job_trace(job: CampaignJob) -> Trace:
 
 
 def job_config(job: CampaignJob) -> CoreConfig:
-    """Table-I preset for *job*'s core, switched to *job*'s mode."""
-    return CORES[job.core].with_mode(RecycleMode(job.mode))
+    """Table-I preset for *job*'s core, switched to *job*'s mode (and
+    pinned to *job*'s engine when one was requested)."""
+    config = CORES[job.core].with_mode(RecycleMode(job.mode))
+    if job.engine is not None:
+        config = replace(config, engine=job.engine)
+    return config

@@ -61,6 +61,10 @@ class JobRecord:
     wall_time_s: float
     speedup: Optional[float] = None
     worker: str = ""
+    #: simulation backend the job was pinned to (``None`` = config
+    #: default); engines are cycle-identical, so this is telemetry,
+    #: not identity — labels and reference keys stay engine-free
+    engine: Optional[str] = None
     spans: Dict[str, float] = field(default_factory=dict)
     #: simulator throughput for this job (simulated cycles per second
     #: of the ``simulate`` span); ``None`` on cache hits, which never
@@ -187,7 +191,7 @@ def _execute_job(job: CampaignJob, cache_dir: str, force: bool,
     sim_seconds = spans.get("simulate", 0.0)
     return JobRecord(
         suite=job.suite, bench=job.bench, core=job.core, mode=job.mode,
-        key=key,
+        key=key, engine=job.engine,
         cycles=result.cycles, committed=result.stats.committed,
         ipc=result.ipc, cache_hit=cache_hit,
         wall_time_s=time.perf_counter() - start,

@@ -20,7 +20,9 @@ from .config import (
     SchedulerDesign,
 )
 from .cpu import CoreSimulator, SimResult, simulate
+from .engine import ENGINES, EngineRegistry
 from .last_arrival import LastArrivalPredictor
+from .lower import LoweredTrace, lower_trace, lowering_digest
 from .overheads import OverheadReport, overhead_report
 from .pvt import (
     CriticalPathMonitor,
@@ -45,13 +47,15 @@ from .width_predictor import WidthPredictor
 
 __all__ = [
     "AgeMaskTable", "BIG", "CORES", "CoreConfig", "CoreSimulator",
-    "DEFAULT_TICKS_PER_CYCLE", "DEFAULT_TICK_BASE", "ExecTiming",
+    "DEFAULT_TICKS_PER_CYCLE", "DEFAULT_TICK_BASE", "ENGINES",
+    "EngineRegistry", "ExecTiming",
     "CriticalPathMonitor", "DriftScenario", "LastArrivalPredictor",
-    "MEDIUM", "OverheadReport", "PVTCondition", "PVTRecalibrator",
-    "ReadyQueues", "RecycleMode", "SCENARIOS",
+    "LoweredTrace", "MEDIUM", "OverheadReport", "PVTCondition",
+    "PVTRecalibrator", "ReadyQueues", "RecycleMode", "SCENARIOS",
     "SMALL", "SchedulerDesign", "SelectRequest", "SequenceTracker",
     "SimResult", "SlackKey", "SlackLUT", "TickBase", "WIDTH_CLASSES",
-    "WidthPredictor", "multi_grant_bitlevel", "resolve_execution",
+    "WidthPredictor", "lower_trace", "lowering_digest",
+    "multi_grant_bitlevel", "resolve_execution",
     "delay_scale", "overhead_report", "recalibration_report",
     "select_requests", "simulate", "wake_cycle",
 ]

@@ -70,6 +70,12 @@ class CoreConfig:
 
     mode: RecycleMode = RecycleMode.REDSOC
     scheduler: SchedulerDesign = SchedulerDesign.OPERATIONAL
+    #: simulation backend (timing-irrelevant: every registered engine is
+    #: cycle-identical, enforced by the CI backend-equivalence matrix).
+    #: ``reference`` forces the per-cycle step loop, ``fast`` is the
+    #: event-driven skip-ahead loop, ``compiled`` lowers the trace into
+    #: flat columns and runs specialized straight-line code
+    engine: str = "fast"
     skewed_select: bool = True
     #: run the Eager-Grandparent (GP) select phase at all; False keeps
     #: transparent execution but never co-issues children with their

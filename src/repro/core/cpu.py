@@ -49,6 +49,7 @@ from repro.pipeline.trace import Trace, TraceEntry, generate_trace
 from repro.pipeline.uop import OPCLASS_INDEX, Uop, UopState
 
 from .config import CoreConfig, RecycleMode, SchedulerDesign
+from .engine import ENGINES
 from .last_arrival import LastArrivalPredictor
 from .scheduler import (
     ReadyQueues,
@@ -87,9 +88,12 @@ class CoreSimulator:
     """One core simulating one trace (single-use object)."""
 
     def __init__(self, trace: Trace, config: CoreConfig, *,
-                 obs=None) -> None:
+                 obs=None, force_step: bool = False) -> None:
         self.trace = trace
         self.config = config
+        #: True pins run() to the per-cycle step loop even without an
+        #: observer — the ``reference`` backend of the engine registry
+        self._force_step = force_step
         #: event sink (None = tracing off; every emission site below is
         #: guarded by a single `is None` check so the untraced hot loop
         #: does the same work as an uninstrumented simulator)
@@ -182,7 +186,7 @@ class CoreSimulator:
     def run(self) -> SimResult:
         total = len(self.trace.entries)
         limit = 200 * total + 100_000
-        if self.obs is None:
+        if self.obs is None and not self._force_step:
             self._run_fast(total, limit)
         else:
             # traced runs keep the plain per-cycle loop so per-cycle
@@ -1184,6 +1188,9 @@ def simulate(workload, config: CoreConfig, *,
 
     Pass an event sink (e.g. :class:`repro.obs.Recorder`) as *obs* to
     trace the run; the default ``None`` keeps tracing compiled out.
+    The backend is picked by ``config.engine`` through the
+    :data:`~repro.core.engine.ENGINES` registry; every backend returns
+    bit-identical cycle counts (CI backend-equivalence matrix).
     """
     if isinstance(workload, Program):
         trace = generate_trace(workload, max_instructions=max_instructions)
@@ -1191,4 +1198,32 @@ def simulate(workload, config: CoreConfig, *,
         trace = workload
     else:
         raise TypeError(f"expected Program or Trace, got {type(workload)}")
-    return CoreSimulator(trace, config, obs=obs).run()
+    return ENGINES.create(config.engine, trace, config, obs=obs).run()
+
+
+# -- engine registration -----------------------------------------------
+# "reference" pins the per-cycle loop, "fast" is this module's
+# event-driven loop, "compiled" lowers the trace and runs specialized
+# code (falling back to the reference path whenever an observer is
+# attached — the compiled loop carries no probe points).
+
+def _reference_engine(trace: Trace, config: CoreConfig, *, obs=None):
+    return CoreSimulator(trace, config, obs=obs, force_step=True)
+
+
+def _fast_engine(trace: Trace, config: CoreConfig, *, obs=None):
+    return CoreSimulator(trace, config, obs=obs)
+
+
+def _compiled_engine(trace: Trace, config: CoreConfig, *, obs=None):
+    if obs is not None:
+        # observability requires the per-cycle probe points; identical
+        # results either way, the compiled path is purely a speedup
+        return CoreSimulator(trace, config, obs=obs)
+    from .compiled import CompiledSimulator   # lazy: breaks the cycle
+    return CompiledSimulator(trace, config)
+
+
+ENGINES.register("reference", _reference_engine)
+ENGINES.register("fast", _fast_engine)
+ENGINES.register("compiled", _compiled_engine)

@@ -1,0 +1,65 @@
+"""Pluggable simulation-backend registry.
+
+The cycle model has one semantics and several implementations:
+
+* ``reference`` — the per-cycle :meth:`CoreSimulator._step` loop, one
+  cycle at a time, observability-friendly.  Slowest, simplest, the
+  differential oracle every other backend is checked against.
+* ``fast`` — the event-driven skip-ahead loop (PR 5); bit-identical to
+  ``reference`` by construction and by CI.
+* ``compiled`` — lowers the dynamic trace into flat parallel columns
+  (:mod:`repro.core.lower`) and runs a config-specialized engine
+  (:mod:`repro.core.compiled`).  Falls back to ``reference`` whenever
+  an observer is attached (the compiled loop has no probe points).
+
+Backends register a factory ``(trace, config, obs=None) -> runner``
+where ``runner.run()`` returns a :class:`~repro.core.cpu.SimResult`.
+Every engine must be *cycle-identical*: the backend-equivalence CI
+matrix runs ``check_regression.py --exact-cycles`` once per engine and
+fails on any diff, and :mod:`repro.verify` fuzzes engines against each
+other nightly.  An engine is a performance choice, never a semantics
+choice — which is why ``CoreConfig.engine`` is a plain string any
+config path (campaign, serve, verify CLI) can thread through.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+#: factory signature: (trace, config, obs) -> object with .run()
+EngineFactory = Callable[..., Any]
+
+
+class EngineRegistry:
+    """Name → backend-factory table with helpful failure modes."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, EngineFactory] = {}
+
+    def register(self, name: str, factory: EngineFactory) -> None:
+        if not name or not isinstance(name, str):
+            raise ValueError(f"engine name must be a non-empty string, "
+                             f"got {name!r}")
+        self._factories[name] = factory
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered backend names, registration order."""
+        return tuple(self._factories)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def create(self, name: str, trace, config, *, obs=None):
+        """Instantiate the named backend for one simulation run."""
+        factory = self._factories.get(name)
+        if factory is None:
+            raise ValueError(
+                f"unknown engine {name!r}; choose from "
+                f"{sorted(self._factories)}")
+        return factory(trace, config, obs=obs)
+
+
+#: process-global registry; :mod:`repro.core.cpu` populates it on import
+ENGINES = EngineRegistry()
+
+__all__ = ["ENGINES", "EngineFactory", "EngineRegistry"]

@@ -26,7 +26,7 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core import CORES, RecycleMode
+from repro.core import CORES, ENGINES, RecycleMode
 from repro.isa.program import Program
 from repro.isa.serialize import program_from_dict, program_to_dict
 from repro.isa.textasm import assemble_text
@@ -181,6 +181,20 @@ def _parse_mode(body: Dict[str, Any], key: str = "mode") -> str:
         "mode", _require(body, key, str, "bad-mode"), _MODES)
 
 
+def _parse_engine(body: Dict[str, Any]) -> Optional[str]:
+    """Optional backend pin; ``None`` keeps the config default.
+
+    A pinned engine joins the worker payload, so it participates in the
+    spec fingerprint — an engine-pinned request never shares a
+    single-flight slot or LRU entry with the default-engine form.
+    """
+    if "engine" not in body:
+        return None
+    return _check_choice(
+        "engine", _require(body, "engine", str, "bad-engine"),
+        tuple(ENGINES.names()))
+
+
 @dataclass(frozen=True)
 class BaseSpec:
     """Shared request attributes (priority + deadline)."""
@@ -211,6 +225,7 @@ class SimulateSpec(BaseSpec):
     workload_json: str = "{}"
     core: str = "small"
     mode: str = "baseline"
+    engine: Optional[str] = None
 
     @property
     def kind(self) -> str:
@@ -219,6 +234,8 @@ class SimulateSpec(BaseSpec):
     def worker_payloads(self) -> List[Dict[str, Any]]:
         payload = json.loads(self.workload_json)
         payload.update({"core": self.core, "mode": self.mode})
+        if self.engine is not None:
+            payload["engine"] = self.engine
         return [payload]
 
 
@@ -229,6 +246,7 @@ class SweepSpec(BaseSpec):
     workload_json: str = "{}"
     cores: Tuple[str, ...] = ()
     modes: Tuple[str, ...] = ()
+    engine: Optional[str] = None
 
     @property
     def kind(self) -> str:
@@ -240,6 +258,8 @@ class SweepSpec(BaseSpec):
             for mode in self.modes:
                 payload = json.loads(self.workload_json)
                 payload.update({"core": core, "mode": mode})
+                if self.engine is not None:
+                    payload["engine"] = self.engine
                 payloads.append(payload)
         return payloads
 
@@ -252,14 +272,18 @@ class VerifySpec(BaseSpec):
     budget: int = 10
     core: str = "small"
     metamorphic: bool = True
+    engines: Tuple[str, ...] = ()
 
     @property
     def kind(self) -> str:
         return "verify"
 
     def worker_payloads(self) -> List[Dict[str, Any]]:
-        return [{"seed": self.seed, "budget": self.budget,
-                 "core": self.core, "metamorphic": self.metamorphic}]
+        payload = {"seed": self.seed, "budget": self.budget,
+                   "core": self.core, "metamorphic": self.metamorphic}
+        if self.engines:
+            payload["engines"] = list(self.engines)
+        return [payload]
 
 
 def _freeze_workload(workload: Dict[str, Any]) -> str:
@@ -273,7 +297,8 @@ def parse_simulate(body: Dict[str, Any]) -> SimulateSpec:
         priority=_parse_priority(body),
         deadline_ms=_parse_deadline(body),
         workload_json=_freeze_workload(_parse_workload(body)),
-        core=_parse_core(body), mode=_parse_mode(body))
+        core=_parse_core(body), mode=_parse_mode(body),
+        engine=_parse_engine(body))
 
 
 def parse_sweep(body: Dict[str, Any]) -> SweepSpec:
@@ -293,7 +318,7 @@ def parse_sweep(body: Dict[str, Any]) -> SweepSpec:
         priority=_parse_priority(body),
         deadline_ms=_parse_deadline(body),
         workload_json=_freeze_workload(_parse_workload(body)),
-        cores=cores, modes=modes)
+        cores=cores, modes=modes, engine=_parse_engine(body))
 
 
 def parse_verify(body: Dict[str, Any]) -> VerifySpec:
@@ -309,10 +334,18 @@ def parse_verify(body: Dict[str, Any]) -> VerifySpec:
     metamorphic = body.get("metamorphic", True)
     if not isinstance(metamorphic, bool):
         raise _bad("bad-metamorphic", "metamorphic must be a boolean")
+    engines = body.get("engines", [])
+    if not isinstance(engines, list):
+        raise _bad("bad-engines", "engines must be a list of backend "
+                                  "names")
+    engines = tuple(dict.fromkeys(
+        _check_choice("engine", e, tuple(ENGINES.names()))
+        for e in engines))
     return VerifySpec(
         priority=_parse_priority(body),
         deadline_ms=_parse_deadline(body),
-        seed=seed, budget=budget, core=core, metamorphic=metamorphic)
+        seed=seed, budget=budget, core=core, metamorphic=metamorphic,
+        engines=engines)
 
 
 _PARSERS = {

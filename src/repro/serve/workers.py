@@ -66,7 +66,8 @@ def _execute_simulate(payload: Dict[str, Any],
     if "suite" in payload:
         job = CampaignJob(suite=payload["suite"], bench=payload["bench"],
                           core=payload["core"], mode=payload["mode"],
-                          scale=payload.get("scale"))
+                          scale=payload.get("scale"),
+                          engine=payload.get("engine"))
         record = _execute_job(job, cache_dir, force=False)
         result = asdict(record)
         result["workload"] = f"{payload['suite']}/{payload['bench']}"
@@ -78,6 +79,7 @@ def _execute_inline(payload: Dict[str, Any],
                     cache_dir: str) -> Dict[str, Any]:
     import hashlib
     import json
+    from dataclasses import replace
 
     from repro.campaign.cache import (
         ResultCache,
@@ -95,6 +97,8 @@ def _execute_inline(payload: Dict[str, Any],
     start = time.perf_counter()
     config = CORES[payload["core"]].with_mode(
         RecycleMode(payload["mode"]))
+    if payload.get("engine"):
+        config = replace(config, engine=payload["engine"])
     cache = ResultCache(Path(cache_dir))
 
     # the program→trace mapping is deterministic, so inline programs
@@ -152,6 +156,7 @@ def _execute_verify(payload: Dict[str, Any]) -> Dict[str, Any]:
                        seed=int(payload["seed"]),
                        config=CORES[payload.get("core", "small")],
                        metamorphic=bool(payload.get("metamorphic", True)),
+                       engines=payload.get("engines") or None,
                        do_shrink=False)
     result = outcome.to_payload()
     result["ok"] = outcome.ok

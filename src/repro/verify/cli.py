@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.campaign import ResultCache, cached_simulate
+from repro.core import ENGINES
 from repro.core.config import CORES
 from repro.core.cpu import simulate
 
@@ -74,6 +75,11 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", type=Path, default=None,
                        help="route metamorphic variant simulations "
                             "through a campaign result cache")
+        p.add_argument("--engines", nargs="+", metavar="ENGINE",
+                       choices=list(ENGINES.names()), default=None,
+                       help="cross-check these simulation backends "
+                            "against the audited run on every program "
+                            "and mode (full-SimStats bit-identity)")
 
     fuzz = sub.add_parser("fuzz", help="run a deterministic fuzz session")
     common(fuzz)
@@ -161,6 +167,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     outcome = run_fuzz(budget=args.budget, seed=args.seed,
                        config=CORES[args.config],
                        metamorphic=not args.no_metamorphic,
+                       engines=args.engines,
                        do_shrink=not args.no_shrink,
                        defect=args.self_check,
                        max_failures=args.max_failures,
@@ -205,6 +212,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     spec = _load_target(args, prefer_shrunk=not args.full)
     verdict = check_spec(spec, config=CORES[args.config],
                          metamorphic=not args.no_metamorphic,
+                         engines=args.engines,
                          defect=args.defect,
                          simulate_fn=_simulate_fn(args))
     print(f"{spec.name}: {verdict.instructions} dynamic instruction(s), "
@@ -221,6 +229,7 @@ def _cmd_shrink(args: argparse.Namespace) -> int:
     spec = _load_target(args, prefer_shrunk=False)
     verdict = check_spec(spec, config=CORES[args.config],
                          metamorphic=not args.no_metamorphic,
+                         engines=args.engines,
                          defect=args.defect,
                          simulate_fn=_simulate_fn(args))
     if verdict.ok:

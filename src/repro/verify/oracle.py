@@ -22,7 +22,7 @@ the fuzzer can decide what to shrink and the CLI what to print.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.audit import audit_run
@@ -30,6 +30,7 @@ from repro.core.config import CoreConfig, RecycleMode, SMALL
 from repro.core.cpu import simulate
 from repro.isa.interpreter import run_program
 from repro.isa.program import Program
+from repro.pipeline.codegen import generate_trace_compiled
 from repro.pipeline.trace import Trace, generate_trace
 
 from .metamorphic import check_timing_relations
@@ -105,10 +106,38 @@ def _diff_mem(golden: Dict, other: Dict) -> str:
 SimulateFn = Callable[[Trace, CoreConfig], Any]
 
 
+def _diff_traces(base: Trace, other: Trace) -> str:
+    """Empty string when identical, else the first entry-level diff."""
+    if len(base.entries) != len(other.entries):
+        return (f"length: interpreted={len(base.entries)} "
+                f"compiled={len(other.entries)}")
+    for i, (a, b) in enumerate(zip(base.entries, other.entries)):
+        ta = (a.instr, a.pc, a.next_pc, bool(a.taken), a.op_width,
+              a.mem_addr, a.mem_size, bool(a.is_store))
+        tb = (b.instr, b.pc, b.next_pc, bool(b.taken), b.op_width,
+              b.mem_addr, b.mem_size, bool(b.is_store))
+        if ta != tb:
+            return f"entry #{i}: interpreted={ta} compiled={tb}"
+    if base.arch_state() != other.arch_state():
+        return "final architectural state differs"
+    return ""
+
+
+def _diff_stats(base, other) -> str:
+    """First few differing SimStats fields between two engines."""
+    diffs = []
+    for f in fields(base):
+        a, b = getattr(base, f.name), getattr(other, f.name)
+        if a != b:
+            diffs.append(f"{f.name}: audit={a!r} got={b!r}")
+    return "; ".join(diffs[:4]) + ("..." if len(diffs) > 4 else "")
+
+
 def check_program(program: Program, *,
                   config: CoreConfig = SMALL,
                   modes: Optional[Sequence[RecycleMode]] = None,
                   metamorphic: bool = True,
+                  engines: Optional[Sequence[str]] = None,
                   simulate_fn: SimulateFn = simulate) -> ProgramVerdict:
     """Run the full differential check; returns a :class:`ProgramVerdict`.
 
@@ -116,6 +145,11 @@ def check_program(program: Program, *,
     call-compatible with :func:`repro.core.cpu.simulate` (pass
     a :func:`repro.campaign.cached_simulate` closure to read variant
     runs through the campaign result cache).
+
+    *engines* names simulation backends to cross-check: each one
+    re-simulates every mode and its **full SimStats record** must match
+    the audited run bit for bit (engines are performance choices, never
+    semantics choices).  Any drift flags an ``engine.stats`` divergence.
     """
     modes = list(modes) if modes is not None else list(RecycleMode)
     verdict = ProgramVerdict(name=program.name)
@@ -145,6 +179,14 @@ def check_program(program: Program, *,
         flag(Divergence("arch.halt", None,
                         "golden model hit the instruction cap"))
 
+    # 1b. compiled trace generator vs the interpreted one: the codegen
+    # path must reproduce the exact same dynamic trace, entry by entry
+    if engines and "compiled" in engines:
+        compiled_trace = generate_trace_compiled(program)
+        mismatch = _diff_traces(trace, compiled_trace)
+        if mismatch:
+            flag(Divergence("engine.trace", None, mismatch))
+
     # 2. every timing mode: audit invariants + commit-count equality
     for mode in modes:
         audit = audit_run(trace, config.with_mode(mode))
@@ -157,6 +199,18 @@ def check_program(program: Program, *,
         for violation in audit.violations:
             flag(Divergence(f"audit.{violation.rule}", mode.value,
                             f"uop#{violation.seq}: {violation.detail}"))
+
+        # 2b. backend equivalence: each requested engine must reproduce
+        # the audited run's SimStats exactly, mode by mode
+        for engine in engines or ():
+            run = simulate_fn(trace, replace(config.with_mode(mode),
+                                             engine=engine))
+            verdict.cycles[f"{mode.value}:{engine}"] = run.stats.cycles
+            if run.stats != audit.result.stats:
+                flag(Divergence(
+                    "engine.stats", mode.value,
+                    f"engine {engine!r} diverges from the audited run: "
+                    f"{_diff_stats(audit.result.stats, run.stats)}"))
 
     # 3. metamorphic timing relations
     if metamorphic:

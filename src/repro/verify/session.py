@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.config import CoreConfig, SMALL
 from repro.core.cpu import simulate
@@ -91,6 +91,7 @@ def run_fuzz(*, budget: int, seed: int,
              config: CoreConfig = SMALL,
              gen_config: GenConfig = GenConfig(),
              metamorphic: bool = True,
+             engines: Optional[Sequence[str]] = None,
              do_shrink: bool = True,
              defect: Optional[str] = None,
              max_failures: int = DEFAULT_MAX_FAILURES,
@@ -102,8 +103,11 @@ def run_fuzz(*, budget: int, seed: int,
 
     *defect* names a :mod:`repro.verify.defects` entry to inject for the
     whole session (the ``--self-check`` path: the oracle had better
-    catch it).  *store* persists failure artifacts when given; *progress*
-    is called after every program with ``(index, verdict)``.
+    catch it).  *engines* names simulation backends whose SimStats must
+    match the audited run on every program × mode (the nightly
+    backend-equivalence fuzz).  *store* persists failure artifacts when
+    given; *progress* is called after every program with
+    ``(index, verdict)``.
     """
     generator = ProgramGenerator(seed, gen_config)
     outcome = FuzzOutcome(seed=seed, budget=budget,
@@ -116,6 +120,7 @@ def run_fuzz(*, budget: int, seed: int,
         with _injection(defect):
             verdict = check_program(program, config=config,
                                     metamorphic=metamorphic,
+                                    engines=engines,
                                     simulate_fn=simulate_fn)
         outcome.programs_run += 1
         outcome.coverage.add_program(program, verdict.trace)
@@ -169,12 +174,13 @@ def shrink_finding(spec: ProgramSpec, verdict: ProgramVerdict, *,
 def check_spec(spec: ProgramSpec, *,
                config: CoreConfig = SMALL,
                metamorphic: bool = True,
+               engines: Optional[Sequence[str]] = None,
                defect: Optional[str] = None,
                simulate_fn: SimulateFn = simulate) -> ProgramVerdict:
     """Replay one spec through the full oracle (the ``replay`` verb)."""
     with _injection(defect):
         return check_program(materialize(spec), config=config,
-                             metamorphic=metamorphic,
+                             metamorphic=metamorphic, engines=engines,
                              simulate_fn=simulate_fn)
 
 

@@ -1,6 +1,6 @@
 """Cache keys: stability, invalidation, result round-trips."""
 
-from dataclasses import asdict
+from dataclasses import asdict, replace
 
 import pytest
 
@@ -195,3 +195,36 @@ class TestCorruptionTolerance:
         assert len(cache) == 0
         assert cache.get_trace_fingerprint(
             trace_index_key("ml", "pool0")) is None
+
+
+class TestEngineInvalidation:
+    """Switching ``engine=`` can never serve a stale cached result."""
+
+    def test_engine_changes_key(self, tiny_trace, config):
+        compiled = replace(config, engine="compiled")
+        reference = replace(config, engine="reference")
+        keys = {result_key(tiny_trace, c)
+                for c in (config, compiled, reference)}
+        assert len(keys) == 3
+
+    def test_lowering_digest_changes_key(self, tiny_trace, config,
+                                         monkeypatch):
+        import repro.campaign.cache as cache_mod
+
+        before = result_key(tiny_trace, config)
+        monkeypatch.setattr(cache_mod, "lowering_digest",
+                            lambda: "feedfacefeedface")
+        assert result_key(tiny_trace, config) != before
+
+    def test_no_cross_engine_serving(self, tiny_trace, config, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        fast = cached_simulate(tiny_trace,
+                               replace(config, engine="fast"), cache)
+        compiled = cached_simulate(tiny_trace,
+                                   replace(config, engine="compiled"),
+                                   cache)
+        # the second engine must be a miss, not a stale hit ...
+        assert (cache.hits, cache.misses) == (0, 2)
+        assert len(cache) == 2
+        # ... and (being bit-identical backends) agree on the physics
+        assert asdict(compiled.stats) == asdict(fast.stats)

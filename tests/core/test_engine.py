@@ -1,0 +1,93 @@
+"""Engine registry: selection, equivalence, fallback, registration."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import CORES, ENGINES, EngineRegistry, RecycleMode, simulate
+from repro.core.compiled import CompiledSimulator
+from repro.core.cpu import CoreSimulator
+from repro.obs import Recorder
+from repro.pipeline.trace import generate_trace
+from repro.workloads.suites import SUITES
+
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    return generate_trace(SUITES["ml"]["pool0"](scale=3))
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CORES["small"].with_mode(RecycleMode.REDSOC)
+
+
+class TestRegistry:
+    def test_builtin_engines_registered(self):
+        assert set(ENGINES.names()) >= {"reference", "fast", "compiled"}
+        for name in ("reference", "fast", "compiled"):
+            assert name in ENGINES
+
+    def test_unknown_engine_is_loud(self, tiny_trace, config):
+        with pytest.raises(ValueError, match="unknown engine"):
+            ENGINES.create("warp", tiny_trace, config)
+
+    def test_unknown_engine_via_config(self, tiny_trace, config):
+        with pytest.raises(ValueError, match="unknown engine"):
+            simulate(tiny_trace, replace(config, engine="warp"))
+
+    def test_register_rejects_bad_names(self):
+        registry = EngineRegistry()
+        with pytest.raises(ValueError):
+            registry.register("", lambda *a, **k: None)
+        with pytest.raises(ValueError):
+            registry.register(None, lambda *a, **k: None)
+
+    def test_registration_order_preserved(self):
+        registry = EngineRegistry()
+        registry.register("b", lambda *a, **k: None)
+        registry.register("a", lambda *a, **k: None)
+        assert registry.names() == ("b", "a")
+
+    def test_default_engine_is_fast(self, config):
+        assert config.engine == "fast"
+
+
+class TestBackendSelection:
+    def test_reference_pins_step_loop(self, tiny_trace, config):
+        runner = ENGINES.create("reference", tiny_trace, config)
+        assert isinstance(runner, CoreSimulator)
+        assert runner._force_step
+
+    def test_fast_is_the_event_driven_simulator(self, tiny_trace, config):
+        runner = ENGINES.create("fast", tiny_trace, config)
+        assert isinstance(runner, CoreSimulator)
+        assert not runner._force_step
+
+    def test_compiled_backend(self, tiny_trace, config):
+        runner = ENGINES.create("compiled", tiny_trace, config)
+        assert isinstance(runner, CompiledSimulator)
+
+    def test_compiled_falls_back_under_observation(self, tiny_trace,
+                                                   config):
+        # the compiled loop has no probe points: observed runs must
+        # route to the reference simulator so traces stay complete
+        runner = ENGINES.create("compiled", tiny_trace, config,
+                                obs=Recorder())
+        assert isinstance(runner, CoreSimulator)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("mode", list(RecycleMode))
+    def test_engines_bit_identical(self, tiny_trace, mode):
+        config = CORES["small"].with_mode(mode)
+        stats = [simulate(tiny_trace, replace(config, engine=e)).stats
+                 for e in ("reference", "fast", "compiled")]
+        assert stats[0] == stats[1] == stats[2]
+
+    def test_observed_run_matches_unobserved(self, tiny_trace, config):
+        plain = simulate(tiny_trace, replace(config, engine="compiled"))
+        observed = simulate(tiny_trace,
+                            replace(config, engine="compiled"),
+                            obs=Recorder())
+        assert observed.stats == plain.stats

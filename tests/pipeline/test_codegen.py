@@ -1,0 +1,97 @@
+"""Compiled trace generator: bit-identity with the interpreter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.textasm import assemble_text
+from repro.pipeline.codegen import (
+    compile_program,
+    generate_trace_compiled,
+)
+from repro.pipeline.trace import generate_trace
+from repro.verify.generator import GenConfig, ProgramGenerator, materialize
+from repro.workloads.suites import SUITES
+
+
+def entry_tuples(trace):
+    return [(e.instr, e.pc, e.next_pc, bool(e.taken), e.op_width,
+             e.mem_addr, e.mem_size, bool(e.is_store))
+            for e in trace.entries]
+
+
+def assert_identical(program):
+    ref = generate_trace(program)
+    com = generate_trace_compiled(program)
+    assert entry_tuples(com) == entry_tuples(ref)
+    assert com.arch_state() == ref.arch_state()
+    assert com.name == ref.name
+
+
+class TestWorkloadIdentity:
+    @pytest.mark.parametrize("suite,bench", [
+        (suite, bench)
+        for suite, benches in SUITES.items() for bench in benches])
+    def test_every_workload(self, suite, bench):
+        assert_identical(SUITES[suite][bench](scale=3))
+
+
+class TestFallback:
+    def test_simd_heavy_program_uses_interpreter_fallback(self):
+        # VADD/VDUP have no specialized template; the generated block
+        # must interpret them in place with fully synced state
+        program = assemble_text("""
+            mov r1, #7
+            vdup.i32 v1, r1
+            vadd.i32 v2, v1, v1
+            vmov v3, v2
+            add r2, r1, #1
+            halt
+        """, name="simd-mix")
+        assert_identical(program)
+
+    def test_register_amount_shift_falls_back(self):
+        program = assemble_text("""
+            mov r1, #12345
+            mov r2, #7
+            lsl r3, r1, r2
+            lsrs r4, r1, r2
+            halt
+        """, name="reg-shift")
+        assert_identical(program)
+
+
+class TestCapSemantics:
+    def test_overrun_raises_like_the_interpreter(self):
+        program = SUITES["ml"]["act"](scale=8)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            generate_trace_compiled(program, max_instructions=10)
+
+    def test_tail_interpreting_near_the_cap_is_exact(self):
+        program = SUITES["ml"]["act"](scale=8)
+        n = len(generate_trace(program).entries)
+        ref = generate_trace(program, max_instructions=n)
+        com = generate_trace_compiled(program, max_instructions=n)
+        assert entry_tuples(com) == entry_tuples(ref)
+
+
+class TestCompileCaching:
+    def test_compile_memoised_on_program(self):
+        program = SUITES["mibench"]["crc"](scale=3)
+        assert compile_program(program) is compile_program(program)
+
+    def test_blocks_end_at_branches(self):
+        program = SUITES["mibench"]["crc"](scale=3)
+        compiled = compile_program(program)
+        instrs = program.instructions
+        for start, (_, length) in compiled.blocks.items():
+            for pc in range(start, start + length - 1):
+                assert not instrs[pc].is_branch()
+
+
+class TestGeneratedPrograms:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_fuzzed_program_identity(self, seed):
+        spec = ProgramGenerator(seed, GenConfig()).spec(0)
+        assert_identical(materialize(spec))

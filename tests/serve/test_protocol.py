@@ -182,3 +182,58 @@ class TestVerify:
     def test_bad_metamorphic(self):
         assert err("verify", {"metamorphic": "yes"}).code == \
             "bad-metamorphic"
+
+
+class TestEngine:
+    NAMED = {"suite": "ml", "bench": "pool0",
+             "core": "small", "mode": "baseline"}
+
+    def test_simulate_engine_parses_and_reaches_payload(self):
+        spec = parse_request("simulate",
+                             dict(self.NAMED, engine="compiled"))
+        assert spec.engine == "compiled"
+        [payload] = spec.worker_payloads()
+        assert payload["engine"] == "compiled"
+
+    def test_engine_absent_means_server_default(self):
+        spec = parse_request("simulate", dict(self.NAMED))
+        assert spec.engine is None
+        [payload] = spec.worker_payloads()
+        assert "engine" not in payload
+
+    def test_unknown_engine_is_a_400(self):
+        for kind, body in [
+                ("simulate", dict(self.NAMED, engine="warp")),
+                ("sweep", {"suite": "ml", "bench": "pool0",
+                           "engine": "warp"})]:
+            exc = err(kind, body)
+            assert (exc.status, exc.code) == (400, "unknown-engine")
+
+    def test_engine_changes_fingerprint_only_when_pinned(self):
+        base = parse_request("simulate", dict(self.NAMED))
+        pinned = parse_request("simulate",
+                               dict(self.NAMED, engine="reference"))
+        assert pinned.fingerprint != base.fingerprint
+
+    def test_sweep_engine_reaches_every_payload(self):
+        spec = parse_request("sweep",
+                             {"suite": "ml", "bench": "pool0",
+                              "cores": ["small"],
+                              "modes": ["baseline", "redsoc"],
+                              "engine": "compiled"})
+        assert all(p["engine"] == "compiled"
+                   for p in spec.worker_payloads())
+
+    def test_verify_engines_validated_and_deduped(self):
+        spec = parse_request(
+            "verify", {"seed": 1,
+                       "engines": ["compiled", "reference", "compiled"]})
+        assert spec.engines == ("compiled", "reference")
+        [payload] = spec.worker_payloads()
+        assert payload["engines"] == ["compiled", "reference"]
+
+    def test_verify_bad_engines(self):
+        assert err("verify", {"engines": "compiled"}).code == \
+            "bad-engines"
+        assert err("verify", {"engines": ["warp"]}).code == \
+            "unknown-engine"
