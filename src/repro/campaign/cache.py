@@ -231,7 +231,9 @@ class ResultCache:
         if self.metrics is not None:
             self.metrics.counter("cache.corrupt_entries").inc()
         LOG.warning("corrupt cache entry %s (%s); treating as a miss",
-                    path, reason)
+                    path, reason,
+                    extra={"entry": str(path), "reason": reason,
+                           "corrupt_total": self.corrupt})
         try:
             path.unlink()
         except OSError:

@@ -124,6 +124,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help=f"result JSON path (default: {DEFAULT_OUTPUT})")
     run.add_argument("--quiet", "-q", action="store_true",
                      help="suppress per-job progress and summary")
+    run.add_argument("--log-json", action="store_true",
+                     help="structured JSON log lines on stderr (one "
+                          "per finished job)")
     run.add_argument("--profile-dir", type=Path, default=None,
                      metavar="DIR",
                      help="cProfile every simulated (non-cached) job "
@@ -183,10 +186,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"cycles={record.cycles:<8d} ipc={record.ipc:.3f} "
                   f"({record.wall_time_s:.2f}s)")
 
+    logger = None
+    if args.log_json:
+        from repro.obs.log import stderr_logger
+        logger = stderr_logger(component="campaign")
     result = run_campaign(jobs, workers=max(1, args.jobs),
                           cache_dir=args.cache_dir, force=args.force,
                           progress=progress,
-                          profile_dir=args.profile_dir)
+                          profile_dir=args.profile_dir,
+                          logger=logger)
     path = write_campaign_json(result, args.output)
     if not args.quiet:
         print()

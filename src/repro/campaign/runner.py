@@ -219,14 +219,17 @@ def run_campaign(jobs: Sequence[CampaignJob], *,
                  cache_dir: Optional[Path] = None,
                  force: bool = False,
                  progress=None,
-                 profile_dir: Optional[Path] = None) -> CampaignResult:
+                 profile_dir: Optional[Path] = None,
+                 logger=None) -> CampaignResult:
     """Execute *jobs*, sharded over *workers* processes.
 
     ``workers <= 1`` runs everything in-process (useful under pytest
     and for debugging); results are identical either way because the
     timing model is deterministic.  *progress* is an optional callable
     receiving each finished :class:`JobRecord`.  *profile_dir* turns
-    on the per-job cProfile hook for cache misses.
+    on the per-job cProfile hook for cache misses.  *logger* (a
+    :class:`repro.obs.log.JsonLogger`) emits one structured line per
+    finished job.
     """
     cache_root = Path(cache_dir) if cache_dir is not None \
         else ResultCache().root
@@ -234,14 +237,22 @@ def run_campaign(jobs: Sequence[CampaignJob], *,
     start = time.perf_counter()
     records: List[JobRecord] = []
 
+    def finish(record: JobRecord) -> None:
+        records.append(record)
+        if logger is not None:
+            logger.info("campaign.job", label=record.label,
+                        cycles=record.cycles,
+                        cache_hit=record.cache_hit,
+                        wall_time_s=round(record.wall_time_s, 4),
+                        worker=record.worker)
+        if progress is not None:
+            progress(record)
+
     if workers <= 1 or len(jobs) <= 1:
         workers = 1
         for job in jobs:
-            record = _execute_job(job, str(cache_root), force,
-                                  profile_arg)
-            records.append(record)
-            if progress is not None:
-                progress(record)
+            finish(_execute_job(job, str(cache_root), force,
+                                profile_arg))
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_execute_job, job, str(cache_root),
@@ -249,11 +260,12 @@ def run_campaign(jobs: Sequence[CampaignJob], *,
                        for job in jobs]
             # collect in submission order so reports stay stable
             for future in futures:
-                record = future.result()
-                records.append(record)
-                if progress is not None:
-                    progress(record)
+                finish(future.result())
 
     _attach_speedups(records)
+    if logger is not None:
+        logger.info("campaign.done", jobs=len(records),
+                    workers=workers,
+                    wall_time_s=round(time.perf_counter() - start, 3))
     return CampaignResult(records=records, workers=workers,
                           wall_time_s=time.perf_counter() - start)

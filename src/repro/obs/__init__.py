@@ -19,6 +19,19 @@
 Audit-trace *replay* (re-deriving :func:`repro.core.audit.audit_run`'s
 invariant checks from a recorded event stream) lives in
 :mod:`repro.core.audit` next to the live auditor.
+
+The *service* layers (repro.serve, repro.campaign) observe through
+three sibling modules built on the same explicit-object discipline:
+
+* :mod:`repro.obs.trace` — W3C-traceparent request tracing: explicit
+  :class:`~repro.obs.trace.TraceContext`/:class:`~repro.obs.trace.Tracer`
+  objects (no ambient globals), spans across the client → httpd →
+  queue → worker-process → cache → engine chain, JSONL + Perfetto
+  export, span-tree analysis and a CI validator;
+* :mod:`repro.obs.log` — structured JSON logging with bound
+  correlation fields (every error line carries its ``trace_id``);
+* :mod:`repro.obs.slo` — SLO burn-rate checking over loadgen reports
+  and live ``/metrics`` histograms.
 """
 
 from .events import (
@@ -38,12 +51,39 @@ from .export import (
     write_events_jsonl,
     write_metrics_jsonl,
 )
-from .metrics import Counter, Gauge, MetricsRegistry, TickHistogram
+from .log import JsonLogger, JsonLogHandler, stderr_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    LATENCY_BUCKETS_US,
+    MetricsRegistry,
+    TickHistogram,
+    histogram_quantile,
+    parse_prometheus,
+)
+from .slo import SloSpec, check_report
+from .trace import (
+    IdSource,
+    JsonlSpanSink,
+    Span,
+    SpanRecorder,
+    TraceContext,
+    Tracer,
+    merge_chrome_traces,
+    span_trees,
+    spans_chrome_trace,
+    validate_spans,
+)
 
 __all__ = [
-    "Counter", "Event", "EventKind", "Gauge", "JsonlSink",
-    "MetricsRegistry", "NULL_SINK", "NullSink", "Recorder", "TeeSink",
-    "TickHistogram", "chrome_trace", "metrics_to_jsonl",
-    "read_events_jsonl", "write_chrome_trace", "write_events_jsonl",
+    "Counter", "Event", "EventKind", "Gauge", "IdSource",
+    "JsonLogHandler", "JsonLogger", "JsonlSink", "JsonlSpanSink",
+    "LATENCY_BUCKETS_US", "MetricsRegistry", "NULL_SINK", "NullSink",
+    "Recorder", "SloSpec", "Span", "SpanRecorder", "TeeSink",
+    "TickHistogram", "TraceContext", "Tracer", "check_report",
+    "chrome_trace", "histogram_quantile", "merge_chrome_traces",
+    "metrics_to_jsonl", "parse_prometheus", "read_events_jsonl",
+    "span_trees", "spans_chrome_trace", "stderr_logger",
+    "validate_spans", "write_chrome_trace", "write_events_jsonl",
     "write_metrics_jsonl",
 ]

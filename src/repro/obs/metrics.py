@@ -17,7 +17,9 @@ untraced hot loop pays nothing.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+import math
+import re
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 
 class Counter:
@@ -93,6 +95,28 @@ class TickHistogram:
     def items(self) -> List[Tuple[int, int]]:
         return sorted(self.counts.items())
 
+    def cumulative(self, bounds: Sequence[float]
+                   ) -> List[Tuple[float, int]]:
+        """Fold exact value-buckets into cumulative ``le`` buckets.
+
+        Returns ``[(le, count_at_or_below_le), ...]`` over *bounds*
+        plus a terminal ``(inf, total)`` bucket — the canonical
+        Prometheus histogram shape (every bucket counts everything at
+        or below its boundary, so a scraper can rate() and
+        histogram_quantile() it).
+        """
+        values = sorted(self.counts.items())
+        out: List[Tuple[float, int]] = []
+        index = 0
+        running = 0
+        for bound in sorted(bounds):
+            while index < len(values) and values[index][0] <= bound:
+                running += values[index][1]
+                index += 1
+            out.append((float(bound), running))
+        out.append((math.inf, self.total))
+        return out
+
 
 class MetricsRegistry:
     """Named counters, gauges and histograms, created on first use."""
@@ -155,3 +179,124 @@ class MetricsRegistry:
                    "total": hist.total, "mean": hist.mean,
                    "min": hist.min, "max": hist.max,
                    "counts": {str(v): c for v, c in hist.items()}}
+
+
+# -- Prometheus exposition helpers -------------------------------------
+
+#: canonical latency bucket boundaries in microseconds — a geometric
+#: ladder from 100 µs (an LRU hit) to 10 s (a cold sweep), shared by
+#: every ``*_us`` histogram the serve stack exposes so dashboards can
+#: aggregate across daemons
+LATENCY_BUCKETS_US: Tuple[float, ...] = (
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+    100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000,
+    10_000_000)
+
+
+def format_le(bound: float) -> str:
+    """Prometheus ``le`` label text for a bucket boundary."""
+    if math.isinf(bound):
+        return "+Inf"
+    if bound == int(bound):
+        return str(int(bound))
+    return repr(bound)
+
+
+def histogram_quantile(buckets: Sequence[Tuple[float, int]],
+                       q: float) -> Optional[float]:
+    """Prometheus-style quantile estimate from cumulative buckets.
+
+    Linear interpolation inside the bucket that crosses rank ``q``;
+    the open-ended ``+Inf`` bucket reports its lower boundary (exactly
+    what PromQL's ``histogram_quantile`` does).  ``None`` when empty.
+    """
+    ordered = sorted(buckets)
+    if not ordered:
+        return None
+    total = ordered[-1][1]
+    if total <= 0:
+        return None
+    rank = q * total
+    prev_bound, prev_count = 0.0, 0
+    for bound, count in ordered:
+        if count >= rank:
+            if math.isinf(bound):
+                return prev_bound
+            span = count - prev_count
+            if span <= 0:
+                return bound
+            fraction = (rank - prev_count) / span
+            return prev_bound + (bound - prev_bound) * fraction
+        prev_bound, prev_count = bound, count
+    return prev_bound
+
+
+_PROM_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^ #]+)"
+    r"(?:\s*#\s*\{(?P<exemplar>[^}]*)\}\s*(?P<exvalue>\S+).*)?$")
+_LABEL = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_labels(text: Optional[str]) -> Dict[str, str]:
+    if not text:
+        return {}
+    return {match.group(1): match.group(2)
+            for match in _LABEL.finditer(text)}
+
+
+def parse_prometheus(text: str) -> Dict[str, Any]:
+    """Parse the text exposition format back into a structured dict.
+
+    Returns ``{"types": {metric: type}, "samples": {metric: value},
+    "histograms": {base: {"buckets": [(le, count)], "sum": s,
+    "count": n, "exemplars": {le_label: {...}}}}}``.  This is both the
+    scraper the ops dashboard uses against ``/metrics`` and the
+    parse-back oracle of the exposition tests: if this can't ingest
+    the output, neither can Prometheus.
+    """
+    types: Dict[str, str] = {}
+    samples: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+
+    def hist(base: str) -> Dict[str, Any]:
+        return histograms.setdefault(
+            base, {"buckets": [], "sum": 0.0, "count": 0,
+                   "exemplars": {}})
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            parts = rest.split()
+            if len(parts) == 2:
+                types[parts[0]] = parts[1]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _PROM_LINE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        value = float(match.group("value"))
+        if name.endswith("_bucket") and "le" in labels:
+            base = name[:-len("_bucket")]
+            le_text = labels["le"]
+            le = math.inf if le_text == "+Inf" else float(le_text)
+            hist(base)["buckets"].append((le, int(value)))
+            if match.group("exemplar"):
+                exemplar = _parse_labels(match.group("exemplar"))
+                exemplar["value"] = float(match.group("exvalue"))
+                hist(base)["exemplars"][le_text] = exemplar
+        elif name.endswith("_sum") and name[:-4] in histograms:
+            hist(name[:-4])["sum"] = value
+        elif name.endswith("_count") and name[:-6] in histograms:
+            hist(name[:-6])["count"] = int(value)
+        else:
+            samples[name] = value
+    return {"types": types, "samples": samples,
+            "histograms": histograms}

@@ -1,0 +1,230 @@
+"""SLO definitions and burn-rate checking for the serve stack.
+
+An SLO here is a pair of objectives over a window of requests:
+
+* **availability** — at least ``availability`` of requests answered
+  without a 5xx or transport error;
+* **latency** — at least ``latency_objective`` of successful requests
+  answered within ``latency_ms``.
+
+The reported number is the **burn rate**: the observed bad fraction
+divided by the error budget (``1 - objective``).  Burn rate 1.0 means
+the window consumed its budget exactly; 2.0 means at this rate the
+budget is gone in half the window; below 1.0 is healthy.  Gating CI on
+``burn <= max_burn`` is strictly more informative than a raw "p99 <
+X ms" assert because it scales with how much headroom the objective
+allows, and the same number is what the live ops dashboard shows.
+
+Inputs: a loadgen report (``BENCH_serve.json``, schema 1 or 2 — the
+schema-2 ``latency_cdf_ms`` table makes the latency leg exact) or live
+Prometheus cumulative buckets scraped from ``/metrics``
+(:func:`burn_from_buckets`).
+
+CLI::
+
+    python -m repro.obs.slo BENCH_serve.json \
+        --availability 0.995 --latency-ms 250 --latency-objective 0.99 \
+        --max-burn 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: thresholds (ms) the load generator tabulates its latency CDF at
+CDF_THRESHOLDS_MS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000)
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One service-level objective pair (availability + latency)."""
+
+    availability: float = 0.999
+    latency_ms: float = 250.0
+    latency_objective: float = 0.99
+
+    def __post_init__(self) -> None:
+        for name in ("availability", "latency_objective"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), "
+                                 f"got {value!r}")
+        if self.latency_ms <= 0:
+            raise ValueError("latency_ms must be positive")
+
+
+@dataclass
+class SloResult:
+    """One objective's verdict over a window."""
+
+    name: str
+    objective: float
+    bad_fraction: float
+    burn_rate: float
+    detail: str = ""
+
+    def ok(self, max_burn: float = 1.0) -> bool:
+        return self.burn_rate <= max_burn
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"name": self.name, "objective": self.objective,
+                "bad_fraction": round(self.bad_fraction, 6),
+                "burn_rate": (round(self.burn_rate, 4)
+                              if math.isfinite(self.burn_rate)
+                              else "inf"),
+                "detail": self.detail}
+
+
+def burn_rate(bad_fraction: float, objective: float) -> float:
+    """Observed bad fraction over the error budget."""
+    budget = 1.0 - objective
+    if bad_fraction <= 0.0:
+        return 0.0
+    if budget <= 0.0:
+        return math.inf
+    return bad_fraction / budget
+
+
+def _availability_result(payload: Dict[str, Any],
+                         spec: SloSpec) -> SloResult:
+    counts = payload.get("status_counts", {})
+    transport = sum(payload.get("transport_errors", {}).values())
+    total = sum(counts.values()) + transport
+    bad = counts.get("5xx", 0) + transport
+    fraction = bad / total if total else 0.0
+    return SloResult(
+        name="availability", objective=spec.availability,
+        bad_fraction=fraction,
+        burn_rate=burn_rate(fraction, spec.availability),
+        detail=f"{bad}/{total} failed (5xx + transport)")
+
+
+def _fraction_over_from_cdf(cdf_ms: Dict[str, float],
+                            threshold_ms: float
+                            ) -> Optional[Tuple[float, float]]:
+    """Exact fraction of requests over *threshold_ms* from the
+    loadgen CDF table; picks the largest tabulated threshold that does
+    not exceed the requested one (conservative).  Returns
+    ``(fraction_over, threshold_used)`` or ``None``."""
+    usable = sorted(
+        (float(key) for key in cdf_ms if float(key) <= threshold_ms))
+    if not usable:
+        return None
+    used = usable[-1]
+    under = cdf_ms[f"{used:g}"]
+    return max(0.0, 1.0 - float(under)), used
+
+
+def _latency_result(payload: Dict[str, Any],
+                    spec: SloSpec) -> SloResult:
+    cdf = payload.get("latency_cdf_ms")
+    if isinstance(cdf, dict) and cdf:
+        resolved = _fraction_over_from_cdf(cdf, spec.latency_ms)
+        if resolved is not None:
+            fraction, used = resolved
+            return SloResult(
+                name=f"latency<={spec.latency_ms:g}ms",
+                objective=spec.latency_objective,
+                bad_fraction=fraction,
+                burn_rate=burn_rate(fraction, spec.latency_objective),
+                detail=f"{fraction:.2%} over {used:g}ms "
+                       f"(exact, from CDF)")
+    # schema-1 fallback: bracket the over-fraction from percentiles
+    lat = payload.get("latency_ms", {})
+    marks = [(0.50, lat.get("p50")), (0.95, lat.get("p95")),
+             (0.99, lat.get("p99")), (0.999, lat.get("p99.9"))]
+    fraction = 0.0
+    for p, value in marks:
+        if value is not None and value > spec.latency_ms:
+            fraction = 1.0 - p
+            break
+    return SloResult(
+        name=f"latency<={spec.latency_ms:g}ms",
+        objective=spec.latency_objective,
+        bad_fraction=fraction,
+        burn_rate=burn_rate(fraction, spec.latency_objective),
+        detail="bracketed from percentiles (no CDF in report)")
+
+
+def check_report(payload: Dict[str, Any], spec: SloSpec
+                 ) -> List[SloResult]:
+    """Evaluate both objectives over a loadgen report payload."""
+    return [_availability_result(payload, spec),
+            _latency_result(payload, spec)]
+
+
+def burn_from_buckets(buckets: Sequence[Tuple[float, int]],
+                      total: int, threshold_us: float,
+                      objective: float) -> Optional[float]:
+    """Latency burn rate from Prometheus cumulative ``le`` buckets.
+
+    *buckets* is ``[(le_us, cumulative_count), ...]`` as scraped from
+    ``/metrics``; the fraction over the threshold uses the tightest
+    bucket boundary at or below it.  ``None`` with no observations.
+    """
+    if total <= 0:
+        return None
+    under = 0
+    for le, count in sorted(buckets):
+        if le <= threshold_us:
+            under = count
+        else:
+            break
+    fraction = max(0.0, 1.0 - under / total)
+    return burn_rate(fraction, objective)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.slo",
+        description="SLO burn-rate check over a loadgen report "
+                    "(exit 1 when any objective burns too fast).")
+    parser.add_argument("report", type=Path,
+                        help="BENCH_serve.json from the load generator")
+    parser.add_argument("--availability", type=float, default=0.999)
+    parser.add_argument("--latency-ms", type=float, default=250.0)
+    parser.add_argument("--latency-objective", type=float,
+                        default=0.99)
+    parser.add_argument("--max-burn", type=float, default=1.0,
+                        help="largest acceptable burn rate")
+    args = parser.parse_args(argv)
+
+    try:
+        payload = json.loads(args.report.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.report}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = SloSpec(availability=args.availability,
+                       latency_ms=args.latency_ms,
+                       latency_objective=args.latency_objective)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    results = check_report(payload, spec)
+    failed = False
+    for result in results:
+        verdict = "ok" if result.ok(args.max_burn) else "BURN"
+        failed = failed or not result.ok(args.max_burn)
+        burn = (f"{result.burn_rate:.2f}"
+                if math.isfinite(result.burn_rate) else "inf")
+        print(f"{verdict:4s} {result.name}: burn={burn} "
+              f"(objective {result.objective}, {result.detail})")
+    if failed:
+        print(f"FAIL: burn rate above {args.max_burn}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ from typing import Deque, Dict, Optional
 from collections import deque
 
 from repro.obs import MetricsRegistry
+from repro.obs.trace import TraceContext
 
 from .protocol import BaseSpec, Priority
 
@@ -54,6 +55,18 @@ class Ticket:
     expires_at: float = 0.0
     #: flipped when the waiting handler gave up (timeout / disconnect)
     abandoned: bool = False
+    #: the admitting request's trace context (the single-flight
+    #: *leader's* — followers latch onto this ticket and link to it)
+    trace_ctx: Optional[TraceContext] = None
+    #: wall-clock admission time (µs) so the dispatcher can emit a
+    #: queue-wait span with a true start timestamp; ``enqueued_at``
+    #: stays monotonic for deadline math
+    enqueued_wall_us: int = field(
+        default_factory=lambda: int(time.time() * 1e6))
+    #: wall-clock instant (µs) the result became available, stamped by
+    #: the dispatcher so the handler can emit a retroactive ``respond``
+    #: span covering the event-loop handoff back to the response writer
+    completed_wall_us: int = 0
 
     def __post_init__(self) -> None:
         if self.expires_at == 0.0:
@@ -100,13 +113,16 @@ class AdmissionQueue:
     def draining(self) -> bool:
         return self._draining
 
-    def submit(self, spec: BaseSpec) -> Ticket:
+    def submit(self, spec: BaseSpec, *,
+               trace_ctx: Optional[TraceContext] = None) -> Ticket:
         """Admit *spec*; returns its ticket (possibly a shared leader).
 
         Raises :class:`Draining` or :class:`QueueFull`.  When an
         identical request is already in flight the existing leader
         ticket is returned and nothing new is enqueued — the caller
-        just awaits the shared future.
+        just awaits the shared future.  *trace_ctx* (the admitting
+        request's span context) rides on the ticket so the dispatcher
+        can attribute queue wait and worker time to the right trace.
         """
         if self._draining:
             self.metrics.counter("serve.rejected_draining").inc()
@@ -126,7 +142,8 @@ class AdmissionQueue:
                             f"({self.max_depth})")
 
         loop = asyncio.get_running_loop()
-        ticket = Ticket(spec=spec, future=loop.create_future())
+        ticket = Ticket(spec=spec, future=loop.create_future(),
+                        trace_ctx=trace_ctx)
         self._inflight[fingerprint] = ticket
         ticket.future.add_done_callback(
             lambda _fut, fp=fingerprint, t=ticket:

@@ -26,6 +26,14 @@ from typing import Any, Dict, List, Optional
 
 from repro.campaign.cache import default_cache_dir, model_version
 from repro.obs import MetricsRegistry
+from repro.obs.log import JsonLogger, stderr_logger
+from repro.obs.metrics import LATENCY_BUCKETS_US, format_le
+from repro.obs.trace import (
+    ActiveSpan,
+    JsonlSpanSink,
+    TraceContext,
+    Tracer,
+)
 
 from .admission import AdmissionQueue, Draining, QueueFull, Ticket
 from .httpd import HttpProtocolError, HttpRequest, HttpResponse, HttpServer
@@ -54,6 +62,12 @@ class ServeConfig:
     drain_grace_s: float = 10.0
     #: enables the `sleep` work kind and /v1/chaos/* (tests only)
     debug: bool = False
+    #: span export directory — tracing is *on* iff this is set; spans
+    #: stream to ``<trace_dir>/spans.jsonl`` (append mode, so a
+    #: restarted daemon extends the same artifact)
+    trace_dir: Optional[Path] = None
+    #: structured JSON logging on stderr (one object per line)
+    log_json: bool = False
 
     def resolved_cache_dir(self) -> Path:
         return Path(self.cache_dir) if self.cache_dir is not None \
@@ -72,11 +86,23 @@ class ServeApp:
     def __init__(self, config: ServeConfig) -> None:
         self.config = config
         self.metrics = MetricsRegistry()
+        self.tracer: Optional[Tracer] = None
+        self._span_fh = None
+        if config.trace_dir is not None:
+            trace_dir = Path(config.trace_dir)
+            trace_dir.mkdir(parents=True, exist_ok=True)
+            self._span_fh = open(trace_dir / "spans.jsonl", "a",
+                                 encoding="utf-8")
+            self.tracer = Tracer(JsonlSpanSink(self._span_fh))
+        self.logger: Optional[JsonLogger] = \
+            stderr_logger(component="serve") if config.log_json \
+            else None
         self.queue = AdmissionQueue(config.queue_depth,
                                     metrics=self.metrics)
         self.pool = WorkerPool(config.workers,
                                str(config.resolved_cache_dir()),
-                               metrics=self.metrics)
+                               metrics=self.metrics,
+                               tracer=self.tracer)
         self.server = HttpServer(self.handle, host=config.host,
                                  port=config.port,
                                  max_body=config.max_body)
@@ -88,6 +114,12 @@ class ServeApp:
         #: construction time breaks on 3.9 when the app is built
         #: before asyncio.run() starts the real loop
         self._drained: Optional[asyncio.Event] = None
+        #: le-label -> most recent exemplar for serve.latency_us
+        #: buckets (only populated when tracing is on)
+        self._exemplars: Dict[str, Dict[str, Any]] = {}
+        #: descending (latency_us, trace_id) — the ops dashboard's
+        #: "slowest traces" panel reads this off /v1/status
+        self._slowest: List[Any] = []
         self.started_at = time.monotonic()
 
     # -- lifecycle -----------------------------------------------------
@@ -131,6 +163,11 @@ class ServeApp:
         # give them a beat, then close remaining (idle) connections
         await self.server.close(grace_s=0.5)
         self.pool.shutdown()
+        if self._span_fh is not None:
+            try:
+                self._span_fh.close()
+            except OSError:
+                pass
         assert self._drained is not None
         self._drained.set()
 
@@ -155,6 +192,7 @@ class ServeApp:
                 if ticket.abandoned:       # nobody will retrieve it
                     _consume(ticket.future)
             else:
+                ticket.completed_wall_us = int(time.time() * 1e6)
                 if not ticket.future.done():
                     ticket.future.set_result(result)
             finally:
@@ -166,13 +204,23 @@ class ServeApp:
         deadline_s = ticket.remaining_s
         payloads = spec.worker_payloads()
         kind = "simulate" if isinstance(spec, SweepSpec) else spec.kind
+        trace_parent = ticket.trace_ctx \
+            if self.tracer is not None else None
+        if trace_parent is not None:
+            # retroactive queue-wait segment: admission → dispatch
+            self.tracer.start(
+                "queue.wait", parent=trace_parent, component="queue",
+                start_us=ticket.enqueued_wall_us,
+                priority=spec.priority.name.lower()).end()
         if len(payloads) == 1:
-            results = [await self.pool.run(kind, payloads[0],
-                                           deadline_s=deadline_s)]
+            results = [await self.pool.run(
+                kind, payloads[0], deadline_s=deadline_s,
+                trace_parent=trace_parent)]
         else:
             # a sweep fans out across the pool as one batch
             results = list(await asyncio.gather(*[
-                self.pool.run(kind, p, deadline_s=deadline_s)
+                self.pool.run(kind, p, deadline_s=deadline_s,
+                              trace_parent=trace_parent)
                 for p in payloads]))
         for result in results:
             if "cache_hit" in result:
@@ -189,8 +237,20 @@ class ServeApp:
 
     async def handle(self, request: HttpRequest) -> HttpResponse:
         start = time.perf_counter()
+        root: Optional[ActiveSpan] = None
+        if self.tracer is not None and \
+                request.path.startswith("/v1/"):
+            # continue the caller's trace when it sent a (valid)
+            # traceparent; mint a fresh one otherwise.  The request
+            # span is this stream's local root — its parent is the
+            # client SDK's span, which lives in the *client's* export.
+            client_ctx = TraceContext.parse(
+                request.headers.get("traceparent"))
+            root = self.tracer.start(
+                "request", parent=client_ctx, component="serve",
+                method=request.method, path=request.path)
         try:
-            response = await self._route(request)
+            response = await self._route(request, root)
         except HttpProtocolError as exc:
             response = _error_response(exc.status, "bad-request",
                                        exc.message)
@@ -226,9 +286,46 @@ class ServeApp:
         if request.path.startswith("/v1/"):
             self.metrics.histogram("serve.latency_us").observe(
                 elapsed_us)
+        if root is not None:
+            root.set(http_status=response.status)
+            root.end(status="ok" if response.status < 400
+                     else "error")
+            response.headers.setdefault("x-trace-id",
+                                        root.ctx.trace_id)
+            self._note_latency(elapsed_us, root.ctx.trace_id)
+        if self.logger is not None and \
+                request.path.startswith("/v1/"):
+            fields: Dict[str, Any] = {
+                "method": request.method, "path": request.path,
+                "status": response.status, "latency_us": elapsed_us}
+            if root is not None:
+                fields["trace_id"] = root.ctx.trace_id
+            if response.status >= 500:
+                self.logger.error("request.failed", **fields)
+            elif response.status >= 400:
+                self.logger.warning("request.rejected", **fields)
+            else:
+                self.logger.info("request", **fields)
         return response
 
-    async def _route(self, request: HttpRequest) -> HttpResponse:
+    def _note_latency(self, elapsed_us: int, trace_id: str) -> None:
+        """Pin an exemplar on the latency bucket this request landed
+        in and track it for the slowest-traces panel."""
+        le = "+Inf"
+        for bound in LATENCY_BUCKETS_US:
+            if elapsed_us <= bound:
+                le = format_le(bound)
+                break
+        self._exemplars[le] = {"trace_id": trace_id,
+                               "value": elapsed_us,
+                               "ts": round(time.time(), 3)}
+        self._slowest.append((elapsed_us, trace_id))
+        self._slowest.sort(reverse=True)
+        del self._slowest[10:]
+
+    async def _route(self, request: HttpRequest,
+                     root: Optional[ActiveSpan] = None
+                     ) -> HttpResponse:
         path, method = request.path, request.method
         if path == "/healthz":
             status = 503 if self._draining else 200
@@ -246,25 +343,47 @@ class ServeApp:
             if method != "POST":
                 return _error_response(405, "method-not-allowed",
                                        f"{kind} requires POST")
-            return await self._submit(kind, request)
+            return await self._submit(kind, request, root)
         return _error_response(404, "not-found",
                                f"no route for {path!r}")
 
-    async def _submit(self, kind: str,
-                      request: HttpRequest) -> HttpResponse:
+    async def _submit(self, kind: str, request: HttpRequest,
+                      root: Optional[ActiveSpan] = None
+                      ) -> HttpResponse:
         spec = parse_request(kind, request.json())
         fingerprint = spec.fingerprint
+        if root is not None:
+            root.set(kind=spec.kind)
 
         cached = self._lru.get(fingerprint)
         if cached is not None:
             self._lru.move_to_end(fingerprint)
             self.metrics.counter("serve.lru_hits").inc()
+            if root is not None:
+                root.set(served="lru")
             payload = dict(cached)
             payload["served"] = "lru"
             return HttpResponse.json(payload)
 
-        ticket = self.queue.submit(spec)
+        ticket = self.queue.submit(
+            spec, trace_ctx=root.ctx if root is not None else None)
+        if root is not None and self.tracer is not None:
+            # retroactive: parse/validate/LRU probe/enqueue, bracketed
+            # from the request span's own start so the segments explain
+            # the front of the request's wall time
+            self.tracer.start(
+                "admission", parent=root.ctx, component="serve",
+                start_us=root.span.start_us).end()
         shared = ticket.spec is not spec     # single-flight follower
+        wait_span = None
+        if root is not None and shared and self.tracer is not None:
+            # follower: its whole wait is one coalesced segment
+            # pointing at the leader's trace
+            leader = ticket.trace_ctx
+            wait_span = self.tracer.start(
+                "singleflight.wait", parent=root.ctx,
+                component="queue",
+                leader_trace_id=leader.trace_id if leader else None)
         # a follower waits at most its *own* deadline, even when the
         # leader it latched onto has more budget left
         timeout = min(ticket.remaining_s, spec.deadline_ms / 1000.0)
@@ -272,9 +391,27 @@ class ServeApp:
             result = await asyncio.wait_for(
                 asyncio.shield(ticket.future), timeout=timeout)
         except asyncio.TimeoutError:
+            if wait_span is not None:
+                wait_span.end(status="timeout")
             if not shared:
                 ticket.abandoned = True     # dispatcher will skip it
             raise
+        except BaseException:
+            if wait_span is not None:
+                wait_span.end(status="error")
+            raise
+        if wait_span is not None:
+            wait_span.end()
+        elif root is not None and self.tracer is not None \
+                and ticket.completed_wall_us:
+            # retroactive: result ready in the dispatcher → this
+            # handler resumed (event-loop handoff); the serialization
+            # that follows is microseconds
+            self.tracer.start(
+                "respond", parent=root.ctx, component="serve",
+                start_us=ticket.completed_wall_us).end()
+        if root is not None:
+            root.set(served="coalesced" if shared else "worker")
         payload = {"api": API_VERSION, "kind": spec.kind,
                    "result": result}
         if spec.kind in ("simulate", "sweep"):
@@ -318,6 +455,10 @@ class ServeApp:
                         "pids": self.pool.worker_pids()},
             "cache_dir": str(self.config.resolved_cache_dir()),
             "lru_entries": len(self._lru),
+            "tracing": self.tracer is not None,
+            "slowest_traces": [
+                {"latency_us": lat, "trace_id": tid}
+                for lat, tid in self._slowest],
         }
 
     def _render_metrics(self) -> str:
@@ -334,12 +475,19 @@ class ServeApp:
             lines.append(f"{metric} {value}")
         for name, hist in sorted(self.metrics.histograms.items()):
             metric = _prom_name(name)
-            lines.append(f"# TYPE {metric} summary")
-            for q in (0.5, 0.95, 0.99):
-                v = hist.percentile(q)
-                lines.append(
-                    f'{metric}{{quantile="{q}"}} '
-                    f'{v if v is not None else "NaN"}')
+            lines.append(f"# TYPE {metric} histogram")
+            exemplars = self._exemplars \
+                if name == "serve.latency_us" else {}
+            for le, count in hist.cumulative(LATENCY_BUCKETS_US):
+                label = format_le(le)
+                line = f'{metric}_bucket{{le="{label}"}} {count}'
+                exemplar = exemplars.get(label)
+                if exemplar is not None:
+                    # OpenMetrics exemplar: slow buckets name a trace
+                    line += (f' # {{trace_id="'
+                             f'{exemplar["trace_id"]}"}} '
+                             f'{exemplar["value"]} {exemplar["ts"]}')
+                lines.append(line)
             lines.append(f"{metric}_sum {hist.sum}")
             lines.append(f"{metric}_count {hist.total}")
         lines.append(f"redsoc_serve_uptime_seconds "

@@ -58,6 +58,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="S", help="drain budget on SIGTERM")
     start.add_argument("--debug", action="store_true",
                        help="enable /v1/chaos/* fault injection")
+    start.add_argument("--trace-dir", type=Path, default=None,
+                       help="enable request tracing; spans stream to "
+                            "<dir>/spans.jsonl")
+    start.add_argument("--log-json", action="store_true",
+                       help="structured JSON log lines on stderr")
 
     status = sub.add_parser("status", help="query a running daemon")
     status.add_argument("--host", default="127.0.0.1")
@@ -96,6 +101,26 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--min-throughput", type=float, default=None,
                          metavar="RPS",
                          help="exit 1 if throughput falls below this")
+    loadgen.add_argument("--trace", action="store_true",
+                         help="send a W3C traceparent with every "
+                              "request (report rows then carry "
+                              "trace ids)")
+    loadgen.add_argument("--trace-dir", type=Path, default=None,
+                         help="with --spawn: daemon span export dir "
+                              "(implies --trace)")
+
+    ops = sub.add_parser(
+        "ops", help="live terminal dashboard (RPS, percentiles, "
+                    "queue, workers, cache tiers, SLO burn)")
+    ops.add_argument("--host", default="127.0.0.1")
+    ops.add_argument("--port", type=int, default=8787)
+    ops.add_argument("--interval", type=float, default=2.0,
+                     metavar="S", help="refresh period")
+    ops.add_argument("--once", action="store_true",
+                     help="render one frame and exit (CI / scripts)")
+    ops.add_argument("--availability", type=float, default=0.999)
+    ops.add_argument("--latency-ms", type=float, default=250.0)
+    ops.add_argument("--latency-objective", type=float, default=0.99)
     return parser
 
 
@@ -105,7 +130,9 @@ def _cmd_start(args: argparse.Namespace) -> int:
                          cache_dir=args.cache_dir,
                          queue_depth=args.queue_depth,
                          drain_grace_s=args.drain_grace,
-                         debug=args.debug)
+                         debug=args.debug,
+                         trace_dir=args.trace_dir,
+                         log_json=args.log_json)
     daemon = ServeDaemon(config)
 
     def announce(message: str) -> None:
@@ -143,6 +170,8 @@ def _spawn_daemon(args: argparse.Namespace) -> "subprocess.Popen[str]":
            "--workers", str(args.spawn_workers)]
     if args.cache_dir is not None:
         cmd += ["--cache-dir", str(args.cache_dir)]
+    if getattr(args, "trace_dir", None) is not None:
+        cmd += ["--trace-dir", str(args.trace_dir)]
     proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
                             stderr=subprocess.STDOUT, text=True)
     assert proc.stdout is not None
@@ -182,7 +211,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             args.host, args.port, mode=args.mode,
             requests=args.requests, concurrency=args.concurrency,
             rate=args.rate, seed=args.seed, timeout_s=args.timeout,
-            include_errors=args.include_errors)
+            include_errors=args.include_errors,
+            trace=args.trace or args.trace_dir is not None)
     finally:
         if proc is not None:
             drain_s = _drain_spawned(proc)
@@ -198,7 +228,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
           f"{payload['wall_time_s']}s = "
           f"{payload['throughput_rps']} req/s")
     print(f"latency ms: p50={fmt(lat['p50'])} p95={fmt(lat['p95'])} "
-          f"p99={fmt(lat['p99'])} max={fmt(lat['max'])}")
+          f"p99={fmt(lat['p99'])} p99.9={fmt(lat['p99.9'])} "
+          f"max={fmt(lat['max'])}")
     print(f"status: {payload['status_counts']} "
           f"transport errors: {payload['transport_errors']}")
     if drain_s is not None:
@@ -226,10 +257,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ops(args: argparse.Namespace) -> int:
+    from .ops import run_dashboard
+    return run_dashboard(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {"start": _cmd_start, "status": _cmd_status,
-               "loadgen": _cmd_loadgen}[args.command]
+               "loadgen": _cmd_loadgen, "ops": _cmd_ops}[args.command]
     try:
         return handler(args)
     except KeyboardInterrupt:

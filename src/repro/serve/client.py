@@ -13,6 +13,15 @@ Both clients speak the same retry discipline:
 keep-alive connection — convenient for scripts and the CLI.
 :class:`AsyncServeClient` speaks HTTP/1.1 over raw asyncio streams and
 is what the load generator multiplexes.
+
+**Trace propagation** (``trace=True``): each logical request mints one
+trace id that every retry of that request shares; each attempt gets a
+fresh span id, sent as a W3C ``traceparent`` header.  The daemon
+continues the context, so a request that was 429-backed-off twice and
+then crashed a worker still resolves to *one* trace tree with three
+client attempt spans.  Client-side spans land in ``client.spans`` (an
+in-memory recorder) and the most recent request's correlation state in
+``client.last_trace``.
 """
 
 from __future__ import annotations
@@ -24,6 +33,8 @@ import random
 import socket
 import time
 from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.trace import IdSource, Span, SpanRecorder, TraceContext
 
 from .protocol import API_VERSION
 
@@ -57,13 +68,20 @@ class ServeClient:
     def __init__(self, host: str = "127.0.0.1", port: int = 8787, *,
                  timeout_s: float = DEFAULT_TIMEOUT_S,
                  max_retries: int = 3,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 trace: bool = False,
+                 trace_seed: Optional[int] = None) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.max_retries = max_retries
         self._rng = random.Random(seed)
         self._conn: Optional[http.client.HTTPConnection] = None
+        self._ids: Optional[IdSource] = \
+            IdSource(trace_seed) if trace else None
+        self.spans: Optional[SpanRecorder] = \
+            SpanRecorder() if trace else None
+        self.last_trace: Optional[Dict[str, Any]] = None
 
     # -- transport -----------------------------------------------------
 
@@ -85,11 +103,14 @@ class ServeClient:
         self.close()
 
     def _once(self, method: str, path: str,
-              body: Optional[Dict[str, Any]]
+              body: Optional[Dict[str, Any]],
+              extra_headers: Optional[Dict[str, str]] = None
               ) -> Tuple[int, Dict[str, Any]]:
         conn = self._connection()
         data = json.dumps(body).encode() if body is not None else None
         headers = {"content-type": "application/json"} if data else {}
+        if extra_headers:
+            headers.update(extra_headers)
         conn.request(method, path, body=data, headers=headers)
         response = conn.getresponse()
         raw = response.read()
@@ -103,20 +124,46 @@ class ServeClient:
     def request(self, method: str, path: str,
                 body: Optional[Dict[str, Any]] = None, *,
                 deadline_s: Optional[float] = None) -> Dict[str, Any]:
-        """One API call with retry/backoff under a deadline."""
+        """One API call with retry/backoff under a deadline.
+
+        With tracing on, all attempts of this call share one trace id;
+        each attempt sends a fresh span id in ``traceparent``.
+        """
         expiry = time.monotonic() + (deadline_s if deadline_s is not None
                                      else self.timeout_s)
+        trace_id: Optional[str] = None
+        attempt_ids: List[str] = []
+        if self._ids is not None:
+            trace_id = self._ids.trace_id()
+            self.last_trace = {"trace_id": trace_id,
+                               "attempt_span_ids": attempt_ids}
         last: Optional[Exception] = None
         for attempt in range(self.max_retries + 1):
             if time.monotonic() >= expiry:
                 break
+            headers: Optional[Dict[str, str]] = None
+            span_id = ""
+            start_us = 0
+            if trace_id is not None:
+                assert self._ids is not None
+                span_id = self._ids.span_id()
+                attempt_ids.append(span_id)
+                headers = {"traceparent": TraceContext(
+                    trace_id, span_id).to_traceparent()}
+                start_us = int(time.time() * 1e6)
             try:
-                status, payload = self._once(method, path, body)
+                status, payload = self._once(method, path, body,
+                                             headers)
             except (http.client.HTTPException, ConnectionError,
                     socket.timeout, OSError) as exc:
                 self.close()    # stale keep-alive socket; reconnect
+                self._record_attempt(trace_id, span_id, start_us,
+                                     path, attempt, None,
+                                     error=type(exc).__name__)
                 last = exc
             else:
+                self._record_attempt(trace_id, span_id, start_us,
+                                     path, attempt, status)
                 if status < 400:
                     return payload
                 if status not in RETRYABLE_STATUSES \
@@ -132,6 +179,24 @@ class ServeClient:
         raise ServeError(0, "unreachable",
                          f"no response from {self.host}:{self.port}"
                          f" ({last})")
+
+    def _record_attempt(self, trace_id: Optional[str], span_id: str,
+                        start_us: int, path: str, attempt: int,
+                        status: Optional[int],
+                        error: Optional[str] = None) -> None:
+        if self.spans is None or trace_id is None:
+            return
+        attrs: Dict[str, Any] = {"attempt": attempt, "path": path}
+        if status is not None:
+            attrs["http_status"] = status
+        if error is not None:
+            attrs["error"] = error
+        ok = status is not None and status < 400
+        self.spans.emit(Span(
+            name="client.request", trace_id=trace_id,
+            span_id=span_id, start_us=start_us,
+            end_us=int(time.time() * 1e6), component="client",
+            status="ok" if ok else "error", attrs=attrs))
 
     # -- API surface ---------------------------------------------------
 
@@ -196,7 +261,9 @@ class AsyncServeClient:
     def __init__(self, host: str = "127.0.0.1", port: int = 8787, *,
                  timeout_s: float = DEFAULT_TIMEOUT_S,
                  max_retries: int = 3,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 trace: bool = False,
+                 trace_seed: Optional[int] = None) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
@@ -204,6 +271,11 @@ class AsyncServeClient:
         self._rng = random.Random(seed)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
+        self._ids: Optional[IdSource] = \
+            IdSource(trace_seed) if trace else None
+        self.spans: Optional[SpanRecorder] = \
+            SpanRecorder() if trace else None
+        self.last_trace: Optional[Dict[str, Any]] = None
 
     async def _connect(self) -> None:
         if self._writer is None:
@@ -226,15 +298,19 @@ class AsyncServeClient:
         await self.close()
 
     async def _once(self, method: str, path: str,
-                    body: Optional[Dict[str, Any]]
+                    body: Optional[Dict[str, Any]],
+                    extra_headers: Optional[Dict[str, str]] = None
                     ) -> Tuple[int, Dict[str, Any]]:
         await self._connect()
         assert self._reader is not None and self._writer is not None
         data = json.dumps(body).encode() if body is not None else b""
+        extra = "".join(f"{k}: {v}\r\n"
+                        for k, v in (extra_headers or {}).items())
         head = (f"{method} {path} HTTP/1.1\r\n"
                 f"host: {self.host}:{self.port}\r\n"
                 f"content-type: application/json\r\n"
                 f"content-length: {len(data)}\r\n"
+                f"{extra}"
                 f"\r\n").encode("latin-1")
         self._writer.write(head + data)
         await self._writer.drain()
@@ -270,21 +346,43 @@ class AsyncServeClient:
                                      if deadline_s is not None
                                      else self.timeout_s)
         max_retries = self.max_retries if retries is None else retries
+        trace_id: Optional[str] = None
+        attempt_ids: List[str] = []
+        if self._ids is not None:
+            trace_id = self._ids.trace_id()
+            self.last_trace = {"trace_id": trace_id,
+                               "attempt_span_ids": attempt_ids}
         last: Optional[Exception] = None
         for attempt in range(max_retries + 1):
             remaining = expiry - time.monotonic()
             if remaining <= 0:
                 break
+            headers: Optional[Dict[str, str]] = None
+            span_id = ""
+            start_us = 0
+            if trace_id is not None:
+                assert self._ids is not None
+                span_id = self._ids.span_id()
+                attempt_ids.append(span_id)
+                headers = {"traceparent": TraceContext(
+                    trace_id, span_id).to_traceparent()}
+                start_us = int(time.time() * 1e6)
             try:
                 status, payload = await asyncio.wait_for(
-                    self._once(method, path, body), timeout=remaining)
+                    self._once(method, path, body, headers),
+                    timeout=remaining)
             except (ConnectionError, asyncio.IncompleteReadError,
                     asyncio.TimeoutError, OSError) as exc:
                 await self.close()
+                self._record_attempt(trace_id, span_id, start_us,
+                                     path, attempt, None,
+                                     error=type(exc).__name__)
                 last = exc
                 if isinstance(exc, asyncio.TimeoutError):
                     break       # deadline spent; don't burn more time
             else:
+                self._record_attempt(trace_id, span_id, start_us,
+                                     path, attempt, status)
                 if status < 400:
                     return payload
                 if status not in RETRYABLE_STATUSES \
@@ -301,8 +399,29 @@ class AsyncServeClient:
                          f"no response from {self.host}:{self.port}"
                          f" ({last})")
 
+    def _record_attempt(self, trace_id: Optional[str], span_id: str,
+                        start_us: int, path: str, attempt: int,
+                        status: Optional[int],
+                        error: Optional[str] = None) -> None:
+        if self.spans is None or trace_id is None:
+            return
+        attrs: Dict[str, Any] = {"attempt": attempt, "path": path}
+        if status is not None:
+            attrs["http_status"] = status
+        if error is not None:
+            attrs["error"] = error
+        ok = status is not None and status < 400
+        self.spans.emit(Span(
+            name="client.request", trace_id=trace_id,
+            span_id=span_id, start_us=start_us,
+            end_us=int(time.time() * 1e6), component="client",
+            status="ok" if ok else "error", attrs=attrs))
+
     async def raw_status(self, method: str, path: str,
-                         body: Optional[Dict[str, Any]] = None
+                         body: Optional[Dict[str, Any]] = None, *,
+                         trace_ctx: Optional[TraceContext] = None
                          ) -> Tuple[int, Dict[str, Any]]:
         """One attempt, no retries — the load generator's probe."""
-        return await self._once(method, path, body)
+        headers = {"traceparent": trace_ctx.to_traceparent()} \
+            if trace_ctx is not None else None
+        return await self._once(method, path, body, headers)

@@ -17,6 +17,13 @@ periodic sweeps, and (optionally) deliberately malformed programs to
 keep the 400 path honest.  Every response is bucketed by status class;
 latency percentiles come from the full reservoir (no sampling), and
 the report is written to ``BENCH_serve.json``.
+
+Report **schema 2** adds what the SLO checker and the ops dashboard
+need: p99.9, an exact latency CDF tabulated at the
+:data:`repro.obs.slo.CDF_THRESHOLDS_MS` thresholds, a per-request-class
+latency breakdown (``simulate``/``sweep``/``verify`` × warm/cold), and
+— with ``trace=True`` — one trace id per request (seed-derived, so the
+id stream is reproducible) plus the slowest traces for drill-down.
 """
 
 from __future__ import annotations
@@ -28,6 +35,9 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.slo import CDF_THRESHOLDS_MS
+from repro.obs.trace import IdSource, TraceContext
 
 from .client import AsyncServeClient, ServeError
 from .protocol import API_VERSION
@@ -114,6 +124,13 @@ class Sample:
     status: int
     latency_us: int
     served: str = ""
+    #: "warm" (LRU / coalesced / cache hit) or "cold" (simulated)
+    temp: str = ""
+    trace_id: str = ""
+
+    @property
+    def request_class(self) -> str:
+        return f"{self.kind}:{self.temp}" if self.temp else self.kind
 
 
 @dataclass
@@ -152,6 +169,43 @@ class LoadReport:
         index = min(len(lats) - 1, int(p * len(lats)))
         return lats[index] / 1000.0
 
+    def latency_cdf_ms(self) -> Dict[str, float]:
+        """Exact fraction of successful requests at or under each
+        tabulated threshold — what makes the SLO latency leg exact."""
+        lats = self._latencies()
+        cdf: Dict[str, float] = {}
+        if not lats:
+            return cdf
+        for threshold in CDF_THRESHOLDS_MS:
+            limit = threshold * 1000.0
+            under = sum(1 for lat in lats if lat <= limit)
+            cdf[f"{threshold:g}"] = round(under / len(lats), 6)
+        return cdf
+
+    def class_breakdown(self) -> Dict[str, Dict[str, Any]]:
+        by_class: Dict[str, List[int]] = {}
+        for sample in self.samples:
+            if sample.status < 400:
+                by_class.setdefault(sample.request_class, []) \
+                    .append(sample.latency_us)
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, lats in sorted(by_class.items()):
+            lats.sort()
+            def pick(p: float) -> float:
+                return lats[min(len(lats) - 1,
+                                int(p * len(lats)))] / 1000.0
+            out[name] = {"requests": len(lats),
+                         "latency_ms": {"p50": pick(0.50),
+                                        "p95": pick(0.95),
+                                        "p99": pick(0.99)}}
+        return out
+
+    def slowest(self, n: int = 5) -> List[Dict[str, Any]]:
+        ranked = sorted(self.samples, key=lambda s: -s.latency_us)[:n]
+        return [{"latency_us": s.latency_us, "kind": s.kind,
+                 "status": s.status, "trace_id": s.trace_id}
+                for s in ranked]
+
     def to_payload(self) -> Dict[str, Any]:
         lats = self._latencies()
         served: Dict[str, int] = {}
@@ -159,7 +213,7 @@ class LoadReport:
             if sample.served:
                 served[sample.served] = served.get(sample.served, 0) + 1
         return {
-            "schema": 1,
+            "schema": 2,
             "mode": self.mode,
             "requests": len(self.samples),
             "concurrency": self.concurrency,
@@ -173,20 +227,46 @@ class LoadReport:
                 "p50": self.percentile_ms(0.50),
                 "p95": self.percentile_ms(0.95),
                 "p99": self.percentile_ms(0.99),
+                "p99.9": self.percentile_ms(0.999),
                 "mean": (round(sum(lats) / len(lats) / 1000.0, 3)
                          if lats else None),
                 "max": (lats[-1] / 1000.0) if lats else None,
             },
+            "latency_cdf_ms": self.latency_cdf_ms(),
+            "classes": self.class_breakdown(),
+            "slowest": self.slowest(),
         }
+
+
+def _temperature(payload: Any) -> str:
+    """Classify a response as warm (answered from a cache tier or a
+    coalesced flight) or cold (actually simulated)."""
+    if not isinstance(payload, dict):
+        return ""
+    if payload.get("served") in ("lru", "coalesced"):
+        return "warm"
+    result = payload.get("result")
+    if isinstance(result, dict):
+        if "cache_hit" in result:
+            return "warm" if result["cache_hit"] else "cold"
+        jobs = result.get("jobs")
+        if isinstance(jobs, list) and jobs:
+            return "warm" if all(j.get("cache_hit")
+                                 for j in jobs) else "cold"
+    return "cold" if payload.get("served") == "worker" else ""
 
 
 async def _issue(client: AsyncServeClient, kind: str,
                  body: Dict[str, Any], report: LoadReport,
-                 timeout_s: float) -> None:
+                 timeout_s: float,
+                 ids: Optional[IdSource] = None) -> None:
+    ctx = TraceContext(ids.trace_id(), ids.span_id()) \
+        if ids is not None else None
     start = time.perf_counter()
     try:
         status, payload = await asyncio.wait_for(
-            client.raw_status("POST", f"/v1/{kind}", body),
+            client.raw_status("POST", f"/v1/{kind}", body,
+                              trace_ctx=ctx),
             timeout=timeout_s)
         served = payload.get("served", "") if isinstance(payload, dict) \
             else ""
@@ -198,24 +278,29 @@ async def _issue(client: AsyncServeClient, kind: str,
         return
     report.samples.append(Sample(
         kind=kind, status=status, served=served,
+        temp=_temperature(payload),
+        trace_id=ctx.trace_id if ctx is not None else "",
         latency_us=int((time.perf_counter() - start) * 1e6)))
 
 
 async def _closed_loop(host: str, port: int, *, requests: int,
                        concurrency: int, mix: List[MixItem],
-                       seed: int, timeout_s: float) -> LoadReport:
+                       seed: int, timeout_s: float,
+                       trace: bool = False) -> LoadReport:
     report = LoadReport(mode="closed", concurrency=concurrency)
     issued = {"n": 0}
     start = time.perf_counter()
 
     async def lane(lane_id: int) -> None:
         rng = random.Random((seed << 8) | lane_id)
+        ids = IdSource((seed << 16) | lane_id) if trace else None
         client = AsyncServeClient(host, port, timeout_s=timeout_s)
         try:
             while issued["n"] < requests:
                 issued["n"] += 1
                 kind, body = _pick(mix, rng).make_body(rng)
-                await _issue(client, kind, body, report, timeout_s)
+                await _issue(client, kind, body, report, timeout_s,
+                             ids)
         finally:
             await client.close()
 
@@ -228,10 +313,12 @@ async def _closed_loop(host: str, port: int, *, requests: int,
 async def _open_loop(host: str, port: int, *, requests: int,
                      rate: float, mix: List[MixItem], seed: int,
                      timeout_s: float,
-                     max_outstanding: int = 256) -> LoadReport:
+                     max_outstanding: int = 256,
+                     trace: bool = False) -> LoadReport:
     report = LoadReport(mode="open", target_rate=rate,
                         concurrency=max_outstanding)
     rng = random.Random(seed)
+    ids = IdSource(seed << 16) if trace else None
     interval = 1.0 / rate
     gate = asyncio.Semaphore(max_outstanding)
     tasks: List[asyncio.Task] = []
@@ -240,7 +327,7 @@ async def _open_loop(host: str, port: int, *, requests: int,
     async def one(kind: str, body: Dict[str, Any]) -> None:
         client = AsyncServeClient(host, port, timeout_s=timeout_s)
         try:
-            await _issue(client, kind, body, report, timeout_s)
+            await _issue(client, kind, body, report, timeout_s, ids)
         finally:
             await client.close()
             gate.release()
@@ -264,16 +351,19 @@ def run_loadgen(host: str = "127.0.0.1", port: int = 8787, *,
                 concurrency: int = 8, rate: float = 100.0,
                 seed: int = 0, timeout_s: float = 30.0,
                 include_errors: bool = False,
+                trace: bool = False,
                 mix: Optional[List[MixItem]] = None) -> LoadReport:
     """Drive the daemon and return a :class:`LoadReport`."""
     mix = mix if mix is not None else default_mix(include_errors)
     if mode == "closed":
         coro = _closed_loop(host, port, requests=requests,
                             concurrency=concurrency, mix=mix,
-                            seed=seed, timeout_s=timeout_s)
+                            seed=seed, timeout_s=timeout_s,
+                            trace=trace)
     elif mode == "open":
         coro = _open_loop(host, port, requests=requests, rate=rate,
-                          mix=mix, seed=seed, timeout_s=timeout_s)
+                          mix=mix, seed=seed, timeout_s=timeout_s,
+                          trace=trace)
     else:
         raise ValueError(f"mode must be 'closed' or 'open', not {mode!r}")
     return asyncio.run(coro)

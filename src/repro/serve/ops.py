@@ -1,0 +1,165 @@
+"""``python -m repro.serve ops`` — live terminal dashboard.
+
+Polls a running daemon's ``/v1/status`` and ``/metrics`` endpoints and
+renders one compact frame per interval: request rate, latency
+percentiles (derived from the canonical cumulative ``le`` buckets the
+daemon exposes — the same math PromQL's ``histogram_quantile`` does),
+queue depth, worker health, cache-tier hit counters, SLO burn rates
+and the slowest recent trace ids for drill-down with
+``python -m repro.obs.trace tree``.
+
+Rendering is a pure function of two scrapes
+(:func:`render_frame`), so the tests drive it without a terminal, and
+``--once`` prints a single frame for scripts and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import histogram_quantile, parse_prometheus
+from repro.obs.slo import SloSpec, burn_from_buckets, burn_rate
+
+from .client import ServeClient, ServeError
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+@dataclass
+class OpsSample:
+    """One scrape of a daemon: status JSON + parsed /metrics."""
+
+    ts: float
+    status: Dict[str, Any]
+    metrics: Dict[str, Any]
+
+    def counter(self, name: str) -> float:
+        return self.metrics["samples"].get(name, 0.0)
+
+    def histogram(self, name: str) -> Optional[Dict[str, Any]]:
+        return self.metrics["histograms"].get(name)
+
+
+def collect(client: ServeClient) -> OpsSample:
+    status = client.status()
+    metrics = parse_prometheus(client.metrics_text())
+    return OpsSample(ts=time.monotonic(), status=status,
+                    metrics=metrics)
+
+
+def _fmt_ms(value_us: Optional[float]) -> str:
+    if value_us is None:
+        return "-"
+    return f"{value_us / 1000.0:.1f}"
+
+
+def _fmt_burn(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    flag = " !!" if value > 1.0 else ""
+    return f"{value:.2f}{flag}"
+
+
+def render_frame(sample: OpsSample,
+                 prev: Optional[OpsSample] = None,
+                 spec: Optional[SloSpec] = None) -> str:
+    """Render one dashboard frame (pure: two scrapes in, text out)."""
+    spec = spec or SloSpec()
+    status = sample.status
+    queue = status.get("queue", {})
+    workers = status.get("workers", {})
+
+    lines: List[str] = []
+    state = status.get("status", "?")
+    lines.append(
+        f"redsoc-serve ops — {state} "
+        f"up {status.get('uptime_s', 0):.0f}s  "
+        f"model {status.get('model_version', '?')}")
+
+    total = sample.counter("redsoc_serve_requests_total")
+    if prev is not None and sample.ts > prev.ts:
+        rps = (total - prev.counter("redsoc_serve_requests_total")) \
+            / (sample.ts - prev.ts)
+        rps_text = f"{rps:.1f}"
+    else:
+        rps_text = "-"
+    hist = sample.histogram("redsoc_serve_latency_us")
+    buckets = hist["buckets"] if hist else []
+    lines.append(
+        f"rps {rps_text}  requests {total:.0f}  "
+        f"latency ms p50={_fmt_ms(histogram_quantile(buckets, 0.50))} "
+        f"p95={_fmt_ms(histogram_quantile(buckets, 0.95))} "
+        f"p99={_fmt_ms(histogram_quantile(buckets, 0.99))}")
+
+    pids = workers.get("pids", [])
+    lines.append(
+        f"queue {queue.get('depth', 0)}/{queue.get('max_depth', '?')} "
+        f"inflight {queue.get('inflight', 0)}  "
+        f"workers {len(pids)}/{workers.get('configured', '?')} "
+        f"gen {sample.counter('redsoc_serve_worker_generation'):.0f} "
+        f"crashes {sample.counter('redsoc_serve_worker_crashes'):.0f}")
+
+    lines.append(
+        f"cache: lru {sample.counter('redsoc_serve_lru_hits'):.0f}  "
+        f"content-addressed "
+        f"{sample.counter('redsoc_serve_cache_hits'):.0f} hit / "
+        f"{sample.counter('redsoc_serve_cache_misses'):.0f} miss  "
+        f"coalesced "
+        f"{sample.counter('redsoc_serve_singleflight_coalesced'):.0f}  "
+        f"429 {sample.counter('redsoc_serve_rejected_queue_full'):.0f}")
+
+    bad = sample.counter("redsoc_serve_responses_5xx")
+    avail_burn = burn_rate(bad / total if total else 0.0,
+                           spec.availability) if total else None
+    lat_burn = None
+    if hist and hist.get("count"):
+        lat_burn = burn_from_buckets(
+            buckets, int(hist["count"]),
+            threshold_us=spec.latency_ms * 1000.0,
+            objective=spec.latency_objective)
+    lines.append(
+        f"slo: availability burn {_fmt_burn(avail_burn)} "
+        f"(objective {spec.availability})  "
+        f"latency<={spec.latency_ms:g}ms burn {_fmt_burn(lat_burn)} "
+        f"(objective {spec.latency_objective})")
+
+    slowest = status.get("slowest_traces") or []
+    if slowest:
+        lines.append("slowest traces:")
+        for entry in slowest[:5]:
+            lines.append(f"  {entry['latency_us'] / 1000.0:9.1f} ms  "
+                         f"{entry['trace_id']}")
+    return "\n".join(lines) + "\n"
+
+
+def run_dashboard(args: argparse.Namespace) -> int:
+    spec = SloSpec(availability=args.availability,
+                   latency_ms=args.latency_ms,
+                   latency_objective=args.latency_objective)
+    client = ServeClient(args.host, args.port, timeout_s=5.0,
+                         max_retries=0)
+    prev: Optional[OpsSample] = None
+    try:
+        while True:
+            try:
+                sample = collect(client)
+            except (ServeError, OSError) as exc:
+                print(f"error: daemon at {args.host}:{args.port} is "
+                      f"not answering ({exc})", file=sys.stderr)
+                return 1
+            frame = render_frame(sample, prev, spec)
+            if args.once:
+                sys.stdout.write(frame)
+                return 0
+            sys.stdout.write(_CLEAR + frame)
+            sys.stdout.flush()
+            prev = sample
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()

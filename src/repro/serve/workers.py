@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.obs import MetricsRegistry
+from repro.obs.trace import IdSource, TraceContext, Tracer
 
 
 class WorkerCrash(Exception):
@@ -44,18 +45,81 @@ class WorkerCrash(Exception):
 
 # -- worker-side execution (runs in the pool processes) ----------------
 
+#: execution-order phase → span name for worker-side span synthesis
+_PHASE_SPANS = (("cache_probe", "cache.probe"),
+                ("trace_gen", "trace.gen"),
+                ("simulate", "engine.simulate"))
+
+
+def _synthesize_trace_spans(trace_ctx: Dict[str, Any],
+                            result: Dict[str, Any],
+                            kind: str) -> List[Dict[str, Any]]:
+    """Build span JSON objects for one executed payload.
+
+    The worker cannot share the daemon's tracer object, so spans cross
+    the process boundary *by value*: phase durations (measured here,
+    on this process's clock) become child spans of the daemon-side
+    ``worker.attempt`` span named in ``trace_ctx``, stacked in
+    execution order ending now.  The daemon re-emits them into its
+    span sink; durations survive any inter-process clock skew.
+    """
+    ids = IdSource()
+    now_us = int(time.time() * 1e6)
+    trace_id = trace_ctx["trace_id"]
+    parent = trace_ctx["parent"]
+    worker = f"pid-{os.getpid()}"
+
+    if kind == "verify":
+        phases = [("verify.fuzz", result.get("wall_time_s", 0.0), {})]
+    else:
+        spans_s: Dict[str, float] = result.get("spans", {})
+        phases = []
+        for phase, span_name in _PHASE_SPANS:
+            if phase in spans_s:
+                attrs: Dict[str, Any] = {}
+                if phase == "cache_probe":
+                    attrs["cache_hit"] = result.get("cache_hit")
+                    attrs["tier"] = "content-addressed"
+                if phase == "simulate":
+                    attrs["engine"] = result.get("engine") \
+                        or "config-default"
+                    attrs["cycles"] = result.get("cycles")
+                phases.append((span_name, spans_s[phase], attrs))
+
+    total_us = int(sum(d for _, d, _ in phases) * 1e6)
+    cursor = now_us - total_us
+    spans: List[Dict[str, Any]] = []
+    for name, duration_s, attrs in phases:
+        duration_us = int(duration_s * 1e6)
+        spans.append({
+            "name": name, "trace_id": trace_id,
+            "span_id": ids.span_id(), "parent_id": parent,
+            "start_us": cursor, "end_us": cursor + duration_us,
+            "component": "worker", "status": "ok",
+            "attrs": {"worker": worker, **attrs},
+        })
+        cursor += duration_us
+    return spans
+
+
 def execute_payload(kind: str, payload: Dict[str, Any],
                     cache_dir: str) -> Dict[str, Any]:
     """Execute one unit of work; returns a JSON-safe result dict."""
+    trace_ctx = payload.pop("_trace", None)
     if kind == "simulate":
-        return _execute_simulate(payload, cache_dir)
-    if kind == "verify":
-        return _execute_verify(payload)
-    if kind == "sleep":     # chaos/debug hook (gated by the app)
+        result = _execute_simulate(payload, cache_dir)
+    elif kind == "verify":
+        result = _execute_verify(payload)
+    elif kind == "sleep":   # chaos/debug hook (gated by the app)
         time.sleep(float(payload.get("seconds", 0.1)))
-        return {"slept_s": payload.get("seconds", 0.1),
-                "worker": f"pid-{os.getpid()}"}
-    raise ValueError(f"unknown work kind {kind!r}")
+        result = {"slept_s": payload.get("seconds", 0.1),
+                  "worker": f"pid-{os.getpid()}"}
+    else:
+        raise ValueError(f"unknown work kind {kind!r}")
+    if trace_ctx is not None:
+        result["trace_spans"] = _synthesize_trace_spans(
+            trace_ctx, result, kind)
+    return result
 
 
 def _execute_simulate(payload: Dict[str, Any],
@@ -111,6 +175,8 @@ def _execute_inline(payload: Dict[str, Any],
     cache_hit = False
     name = payload["program"].get("name", "inline")
 
+    spans: Dict[str, float] = {}
+    probe_start = time.perf_counter()
     fingerprint = cache.get_trace_fingerprint(tkey)
     if fingerprint is not None:
         key = result_key_from_fingerprint(fingerprint, config)
@@ -118,20 +184,27 @@ def _execute_inline(payload: Dict[str, Any],
         if cached is not None:
             result = payload_to_result(cached, config)
             cache_hit = True
+    spans["cache_probe"] = time.perf_counter() - probe_start
     if result is None:
+        gen_start = time.perf_counter()
         program = program_from_dict(payload["program"])
         name = program.name
         trace = generate_trace(program)
         fingerprint = trace_fingerprint(trace)
         cache.put_trace_fingerprint(tkey, fingerprint)
+        spans["trace_gen"] = time.perf_counter() - gen_start
+        probe_start = time.perf_counter()
         key = result_key_from_fingerprint(fingerprint, config)
         cached = cache.get(key)
+        spans["cache_probe"] += time.perf_counter() - probe_start
         if cached is not None:
             result = payload_to_result(cached, config)
             cache_hit = True
         else:
+            sim_start = time.perf_counter()
             result = simulate(trace, config)
             cache.put(key, result_to_payload(result))
+            spans["simulate"] = time.perf_counter() - sim_start
 
     return {
         "workload": name,
@@ -142,6 +215,8 @@ def _execute_inline(payload: Dict[str, Any],
         "committed": result.stats.committed,
         "ipc": result.ipc,
         "cache_hit": cache_hit,
+        "engine": payload.get("engine"),
+        "spans": {k: round(v, 6) for k, v in spans.items()},
         "wall_time_s": round(time.perf_counter() - start, 6),
         "worker": f"pid-{os.getpid()}",
     }
@@ -175,6 +250,7 @@ class WorkerPool:
                  backoff_base_s: float = 0.05,
                  backoff_cap_s: float = 1.0,
                  metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
                  seed: Optional[int] = None) -> None:
         self.workers = max(1, workers)
         self.cache_dir = cache_dir
@@ -182,6 +258,7 @@ class WorkerPool:
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer
         self._rng = random.Random(seed)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._generation = 0
@@ -223,12 +300,20 @@ class WorkerPool:
     # -- supervised execution ------------------------------------------
 
     async def run(self, kind: str, payload: Dict[str, Any], *,
-                  deadline_s: Optional[float] = None) -> Dict[str, Any]:
+                  deadline_s: Optional[float] = None,
+                  trace_parent: Optional["TraceContext"] = None
+                  ) -> Dict[str, Any]:
         """Execute one payload, surviving worker crashes.
 
         Raises :class:`WorkerCrash` after ``max_retries`` broken-pool
         failures, or :class:`asyncio.TimeoutError` when *deadline_s*
         (seconds from now) expires first.
+
+        With a tracer and *trace_parent*, each attempt gets its own
+        ``worker.attempt`` span (so a crash-then-retry shows up as two
+        sibling attempts under one request) and the worker returns its
+        phase spans by value; they are re-emitted here and stripped
+        from the result before it can reach the response LRU.
         """
         if self._respawn_lock is None:
             self._respawn_lock = asyncio.Lock()
@@ -240,22 +325,48 @@ class WorkerPool:
         for attempt in range(self.max_retries + 1):
             pool = self._ensure_pool()
             generation = self._generation
+            attempt_span = None
+            work_payload = payload
+            if self.tracer is not None and trace_parent is not None:
+                attempt_span = self.tracer.start(
+                    "worker.attempt", parent=trace_parent,
+                    component="worker", kind=kind, attempt=attempt)
+                work_payload = dict(payload)
+                work_payload["_trace"] = {
+                    "trace_id": attempt_span.ctx.trace_id,
+                    "parent": attempt_span.ctx.span_id}
             future = loop.run_in_executor(
-                pool, execute_payload, kind, payload, self.cache_dir)
+                pool, execute_payload, kind, work_payload,
+                self.cache_dir)
             try:
                 if expiry is None:
-                    return await future
-                remaining = expiry - time.monotonic()
-                if remaining <= 0:
-                    raise asyncio.TimeoutError()
-                return await asyncio.wait_for(future, timeout=remaining)
+                    result = await future
+                else:
+                    remaining = expiry - time.monotonic()
+                    if remaining <= 0:
+                        raise asyncio.TimeoutError()
+                    result = await asyncio.wait_for(
+                        future, timeout=remaining)
             except BrokenProcessPool as exc:
+                if attempt_span is not None:
+                    attempt_span.end(status="worker-crash")
                 last_error = exc
                 self.metrics.counter("serve.worker_crashes").inc()
                 await self._respawn(generation)
                 if attempt < self.max_retries:
                     self.metrics.counter("serve.worker_retries").inc()
                     await asyncio.sleep(self._backoff(attempt, expiry))
+                continue
+            except asyncio.TimeoutError:
+                if attempt_span is not None:
+                    attempt_span.end(status="timeout")
+                raise
+            worker_spans = result.pop("trace_spans", None)
+            if attempt_span is not None:
+                if worker_spans:
+                    self.tracer.record_json(worker_spans)
+                attempt_span.set(worker=result.get("worker")).end()
+            return result
         raise WorkerCrash(
             f"work unit failed after {self.max_retries + 1} attempts "
             f"on crashing workers") from last_error

@@ -101,6 +101,9 @@ def _build_parser() -> argparse.ArgumentParser:
                            f"{DEFAULT_DEFECT})")
     fuzz.add_argument("--quiet", "-q", action="store_true",
                       help="suppress per-program progress")
+    fuzz.add_argument("--log-json", action="store_true",
+                      help="structured JSON log lines on stderr, "
+                           "correlated by a per-session id")
 
     replay = sub.add_parser(
         "replay", help="re-run a stored failure through the oracle")
@@ -157,8 +160,24 @@ def _print_listing(spec: ProgramSpec) -> None:
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     store = ArtifactStore(args.out)
+    logger = None
+    if args.log_json:
+        from repro.obs.log import stderr_logger
+        from repro.obs.trace import IdSource
+        session_id = IdSource(args.seed).trace_id()
+        logger = stderr_logger(component="verify").bind(
+            session_id=session_id, seed=args.seed,
+            budget=args.budget, config=args.config)
+        logger.info("fuzz.start",
+                    self_check=args.self_check,
+                    metamorphic=not args.no_metamorphic)
 
     def progress(index: int, verdict) -> None:
+        if logger is not None and not verdict.ok:
+            logger.warning("fuzz.finding", name=verdict.name,
+                           index=index,
+                           divergences=len(verdict.divergences),
+                           first=str(verdict.divergences[0]))
         if not args.quiet and not verdict.ok:
             first = verdict.divergences[0]
             print(f"[FAIL] {verdict.name}: {first} "
@@ -173,6 +192,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                        max_failures=args.max_failures,
                        simulate_fn=_simulate_fn(args),
                        store=store, progress=progress)
+    if logger is not None:
+        logger.info("fuzz.done",
+                    programs_run=outcome.programs_run,
+                    findings=len(outcome.findings))
     if not args.quiet:
         print(outcome.coverage.render())
         print(f"session written to {store.session_path}")

@@ -1,0 +1,165 @@
+"""SLO burn-rate math, report checking, CLI gate."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.slo import (
+    SloSpec,
+    burn_from_buckets,
+    burn_rate,
+    check_report,
+    main as slo_main,
+)
+
+
+class TestBurnRate:
+    def test_exact_budget_burns_at_one(self):
+        assert burn_rate(0.001, 0.999) == pytest.approx(1.0)
+
+    def test_double_budget_burns_at_two(self):
+        assert burn_rate(0.02, 0.99) == pytest.approx(2.0)
+
+    def test_zero_bad_is_zero_burn(self):
+        assert burn_rate(0.0, 0.999) == 0.0
+
+    def test_impossible_objective_is_infinite(self):
+        assert math.isinf(burn_rate(0.5, 1.0))
+
+
+class TestSloSpec:
+    @pytest.mark.parametrize("kwargs", [
+        {"availability": 0.0}, {"availability": 1.0},
+        {"latency_objective": 1.5}, {"latency_ms": 0.0},
+        {"latency_ms": -5.0},
+    ])
+    def test_rejects_degenerate_objectives(self, kwargs):
+        with pytest.raises(ValueError):
+            SloSpec(**kwargs)
+
+
+class TestCheckReport:
+    def _payload(self, **overrides):
+        payload = {
+            "status_counts": {"2xx": 990, "4xx": 8, "5xx": 2},
+            "transport_errors": {},
+            "latency_cdf_ms": {"100": 0.95, "250": 0.995,
+                               "500": 1.0},
+            "latency_ms": {"p50": 20.0, "p95": 90.0, "p99": 240.0,
+                           "p99.9": 400.0},
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_availability_counts_5xx_and_transport(self):
+        payload = self._payload(
+            transport_errors={"ConnectionError": 3})
+        avail, _ = check_report(payload, SloSpec(availability=0.99))
+        assert avail.name == "availability"
+        assert avail.bad_fraction == pytest.approx(5 / 1003)
+        assert avail.ok(max_burn=1.0)
+
+    def test_latency_uses_exact_cdf_when_present(self):
+        spec = SloSpec(latency_ms=250.0, latency_objective=0.99)
+        _, lat = check_report(self._payload(), spec)
+        assert "exact" in lat.detail
+        assert lat.bad_fraction == pytest.approx(0.005)
+        # 0.5% over / 1% budget = burn 0.5
+        assert lat.burn_rate == pytest.approx(0.5)
+
+    def test_latency_threshold_snaps_to_tabulated_boundary(self):
+        # 300 ms is not tabulated; conservative snap down to 250
+        spec = SloSpec(latency_ms=300.0, latency_objective=0.99)
+        _, lat = check_report(self._payload(), spec)
+        assert "250" in lat.detail
+
+    def test_schema1_fallback_brackets_from_percentiles(self):
+        payload = self._payload(latency_cdf_ms=None)
+        spec = SloSpec(latency_ms=100.0, latency_objective=0.99)
+        _, lat = check_report(payload, spec)
+        assert "bracketed" in lat.detail
+        # p99=240 is the first mark over 100 ms -> bracketed at 1%
+        assert lat.bad_fraction == pytest.approx(0.01)
+
+    def test_empty_window_is_healthy(self):
+        payload = {"status_counts": {}, "transport_errors": {}}
+        for result in check_report(payload, SloSpec()):
+            assert result.burn_rate == 0.0
+
+    def test_result_payload_shape(self):
+        avail, _ = check_report(self._payload(), SloSpec())
+        obj = avail.to_payload()
+        assert set(obj) == {"name", "objective", "bad_fraction",
+                            "burn_rate", "detail"}
+        json.dumps(obj)     # JSON-safe even when burn is inf
+
+
+class TestBurnFromBuckets:
+    BUCKETS = [(1_000.0, 50), (10_000.0, 90), (100_000.0, 99),
+               (math.inf, 100)]
+
+    def test_fraction_over_threshold(self):
+        burn = burn_from_buckets(self.BUCKETS, 100,
+                                 threshold_us=10_000.0,
+                                 objective=0.9)
+        # 10% over / 10% budget
+        assert burn == pytest.approx(1.0)
+
+    def test_no_observations_is_none(self):
+        assert burn_from_buckets([], 0, threshold_us=1.0,
+                                 objective=0.9) is None
+
+    def test_threshold_between_boundaries_is_conservative(self):
+        tight = burn_from_buckets(self.BUCKETS, 100,
+                                  threshold_us=50_000.0,
+                                  objective=0.9)
+        exact = burn_from_buckets(self.BUCKETS, 100,
+                                  threshold_us=10_000.0,
+                                  objective=0.9)
+        assert tight == exact   # snapped down to the 10 ms boundary
+
+
+class TestCli:
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def _healthy(self):
+        return {
+            "status_counts": {"2xx": 1000},
+            "transport_errors": {},
+            "latency_cdf_ms": {"100": 0.999, "250": 1.0},
+        }
+
+    def test_healthy_report_passes(self, tmp_path, capsys):
+        path = self._write(tmp_path, self._healthy())
+        assert slo_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "availability" in out and "latency" in out
+
+    def test_burning_report_fails(self, tmp_path, capsys):
+        payload = self._healthy()
+        payload["status_counts"] = {"2xx": 900, "5xx": 100}
+        path = self._write(tmp_path, payload)
+        assert slo_main([str(path)]) == 1
+        assert "BURN" in capsys.readouterr().out
+
+    def test_max_burn_loosens_the_gate(self, tmp_path):
+        payload = self._healthy()
+        payload["latency_cdf_ms"] = {"100": 0.9, "250": 0.985}
+        path = self._write(tmp_path, payload)
+        assert slo_main([str(path), "--latency-ms", "250"]) == 1
+        assert slo_main([str(path), "--latency-ms", "250",
+                         "--max-burn", "2.0"]) == 0
+
+    def test_unreadable_report_is_usage_error(self, tmp_path):
+        assert slo_main([str(tmp_path / "missing.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("{torn")
+        assert slo_main([str(bad)]) == 2
+
+    def test_bad_spec_is_usage_error(self, tmp_path):
+        path = self._write(tmp_path, self._healthy())
+        assert slo_main([str(path), "--availability", "1.0"]) == 2

@@ -115,7 +115,10 @@ class TestOps:
         text = client.metrics_text()
         assert "# TYPE redsoc_serve_requests_total counter" in text
         assert "redsoc_serve_admitted" in text
-        assert 'redsoc_serve_latency_us{quantile="0.99"}' in text
+        assert "# TYPE redsoc_serve_latency_us histogram" in text
+        assert 'redsoc_serve_latency_us_bucket{le="+Inf"}' in text
+        assert "redsoc_serve_latency_us_sum" in text
+        assert "redsoc_serve_latency_us_count" in text
         assert "redsoc_serve_uptime_seconds" in text
 
     def test_unknown_route_is_404(self, client):

@@ -55,7 +55,7 @@ class TestReport:
         payload = self._report().to_payload()
         assert payload["status_counts"] == {"2xx": 3, "4xx": 2}
         assert payload["throughput_rps"] == 10.0
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
 
     def test_percentiles_exclude_errors(self):
         # errors (the two slowest samples here) must not pollute the

@@ -1,0 +1,121 @@
+"""Ops dashboard rendering: pure frames from synthetic scrapes."""
+
+import math
+
+from repro.obs.slo import SloSpec
+from repro.serve.ops import OpsSample, render_frame
+
+
+def _metrics(requests=100.0, latency_buckets=None, count=None,
+             **counters):
+    buckets = latency_buckets if latency_buckets is not None else [
+        (1_000.0, 40), (10_000.0, 90), (100_000.0, 99),
+        (math.inf, 100)]
+    samples = {"redsoc_serve_requests_total": requests}
+    for name, value in counters.items():
+        samples[f"redsoc_serve_{name}"] = value
+    return {
+        "types": {},
+        "samples": samples,
+        "histograms": {
+            "redsoc_serve_latency_us": {
+                "buckets": buckets,
+                "sum": 1_000_000.0,
+                "count": count if count is not None
+                else (buckets[-1][1] if buckets else 0),
+                "exemplars": {},
+            },
+        },
+    }
+
+
+def _status(**overrides):
+    status = {
+        "status": "ok", "uptime_s": 12.5, "model_version": "abcd",
+        "queue": {"depth": 3, "max_depth": 256, "inflight": 2},
+        "workers": {"configured": 4, "pids": [101, 102, 103, 104]},
+        "lru_entries": 9,
+        "slowest_traces": [],
+    }
+    status.update(overrides)
+    return status
+
+
+def _sample(ts=10.0, status=None, metrics=None):
+    return OpsSample(ts=ts, status=status or _status(),
+                     metrics=metrics if metrics is not None
+                     else _metrics())
+
+
+class TestRenderFrame:
+    def test_header_and_structure(self):
+        frame = render_frame(_sample())
+        assert frame.startswith("redsoc-serve ops — ok")
+        assert "model abcd" in frame
+        assert frame.endswith("\n")
+
+    def test_rps_needs_two_scrapes(self):
+        assert "rps -" in render_frame(_sample())
+        prev = _sample(ts=10.0, metrics=_metrics(requests=100.0))
+        cur = _sample(ts=12.0, metrics=_metrics(requests=150.0))
+        assert "rps 25.0" in render_frame(cur, prev)
+
+    def test_percentiles_come_from_buckets(self):
+        frame = render_frame(_sample())
+        # p50 of the synthetic buckets interpolates inside 1-10 ms:
+        # rank 50 sits 10/50 of the way through the 1-10 ms bucket
+        assert "p50=2.8" in frame
+        assert "p99=100.0" in frame
+
+    def test_queue_and_worker_health(self):
+        frame = render_frame(_sample())
+        assert "queue 3/256" in frame
+        assert "inflight 2" in frame
+        assert "workers 4/4" in frame
+
+    def test_cache_tier_counters(self):
+        metrics = _metrics(lru_hits=7.0, cache_hits=20.0,
+                           cache_misses=5.0,
+                           singleflight_coalesced=3.0,
+                           rejected_queue_full=1.0)
+        frame = render_frame(_sample(metrics=metrics))
+        assert "lru 7" in frame
+        assert "20 hit / 5 miss" in frame
+        assert "coalesced 3" in frame
+        assert "429 1" in frame
+
+    def test_healthy_slo_has_no_alarm(self):
+        frame = render_frame(_sample(), spec=SloSpec(
+            availability=0.999, latency_ms=250.0,
+            latency_objective=0.9))
+        assert "availability burn 0.00" in frame
+        assert "!!" not in frame
+
+    def test_burning_availability_is_flagged(self):
+        metrics = _metrics(requests=1000.0, responses_5xx=10.0)
+        frame = render_frame(_sample(metrics=metrics),
+                             spec=SloSpec(availability=0.999))
+        assert "availability burn 10.00 !!" in frame
+
+    def test_burning_latency_is_flagged(self):
+        # 10% of requests over 10 ms against a 99% <= 10 ms objective
+        frame = render_frame(_sample(), spec=SloSpec(
+            latency_ms=10.0, latency_objective=0.99))
+        assert "latency<=10ms burn 10.00 !!" in frame
+
+    def test_slowest_traces_panel(self):
+        status = _status(slowest_traces=[
+            {"latency_us": 250_000, "trace_id": "ab" * 16},
+            {"latency_us": 90_000, "trace_id": "cd" * 16},
+        ])
+        frame = render_frame(_sample(status=status))
+        assert "slowest traces:" in frame
+        assert "250.0 ms" in frame
+        assert "ab" * 16 in frame
+
+    def test_empty_daemon_renders_dashes(self):
+        metrics = {"types": {}, "samples": {}, "histograms": {}}
+        frame = render_frame(_sample(metrics=metrics))
+        assert "rps -" in frame
+        assert "p50=-" in frame
+        assert "burn -" in frame
