@@ -12,6 +12,9 @@ Examples::
     python -m repro.campaign run --suites ml --benchmarks pool0 \
         --modes baseline redsoc --scale 4
 
+    # analytic predictions vs exact runs, CI-gated on accuracy
+    python -m repro.campaign predict --max-mape 8 --max-abs-err 15
+
     # re-render the summary of a previous campaign
     python -m repro.campaign report --input BENCH_campaign.json
 
@@ -153,6 +156,44 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--output", "-o", type=Path, default=None,
                          help="also dump raw .pstats here")
 
+    pred = sub.add_parser(
+        "predict",
+        help="run a grid exactly, predict it analytically, and report "
+             "predicted-vs-actual error per job")
+    pred.add_argument("--suites", nargs="+", metavar="SUITE",
+                      help=f"subset of {list(SUITE_ORDER)}")
+    pred.add_argument("--benchmarks", nargs="+", metavar="BENCH",
+                      help="subset of benchmarks within the suites")
+    pred.add_argument("--cores", nargs="+", metavar="CORE",
+                      help=f"subset of {list(CORE_ORDER)}")
+    pred.add_argument("--modes", nargs="+", metavar="MODE",
+                      help=f"subset of {list(MODE_ORDER)}")
+    pred.add_argument("--scale", type=int, default=None,
+                      help="uniform scale override")
+    pred.add_argument("--jobs", "-j", type=int,
+                      default=os.cpu_count() or 1, metavar="N",
+                      help="worker processes for the exact runs")
+    pred.add_argument("--cache-dir", type=Path, default=None,
+                      help="cache root (default: $REDSOC_CACHE_DIR or "
+                           "./.redsoc-cache)")
+    pred.add_argument("--output", "-o", type=Path,
+                      default=Path(DEFAULT_OUTPUT),
+                      help=f"result JSON path (default: {DEFAULT_OUTPUT})")
+    pred.add_argument("--quiet", "-q", action="store_true",
+                      help="suppress per-job progress and summary")
+    pred.add_argument("--fit-calibration", type=Path, default=None,
+                      metavar="PATH",
+                      help="refit the calibration from this matrix and "
+                           "save it to PATH before predicting")
+    pred.add_argument("--max-mape", type=float, default=None,
+                      metavar="PCT",
+                      help="fail (exit 1) if full-matrix MAPE exceeds "
+                           "this percentage")
+    pred.add_argument("--max-abs-err", type=float, default=None,
+                      metavar="PCT",
+                      help="fail (exit 1) if any job's absolute error "
+                           "exceeds this percentage")
+
     report = sub.add_parser("report",
                             help="summarise an existing campaign JSON")
     report.add_argument("--input", "-i", type=Path,
@@ -203,6 +244,63 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.profile_dir is not None:
             print(f"profiles in {args.profile_dir}/")
     return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from .cache import default_cache_dir
+    from .predict import attach_predictions, fit_from_records
+
+    jobs = enumerate_jobs(suites=args.suites,
+                          benchmarks=args.benchmarks,
+                          cores=args.cores, modes=args.modes,
+                          scale=args.scale)
+    if not jobs:
+        print("no jobs selected", file=sys.stderr)
+        return 2
+
+    def progress(record):
+        if not args.quiet:
+            status = "hit " if record.cache_hit else "sim "
+            print(f"[{status}] {record.label:40s} "
+                  f"cycles={record.cycles:<8d} "
+                  f"({record.wall_time_s:.2f}s)")
+
+    cache_dir = args.cache_dir or default_cache_dir()
+    result = run_campaign(jobs, workers=max(1, args.jobs),
+                          cache_dir=cache_dir, progress=progress)
+
+    calibration = None
+    if args.fit_calibration is not None:
+        calibration = fit_from_records(result.records, list(jobs),
+                                       cache_dir, args.fit_calibration)
+        if not args.quiet:
+            print(f"\nrefitted calibration -> {args.fit_calibration}")
+    attach_predictions(result.records, list(jobs), cache_dir,
+                       calibration=calibration)
+
+    path = write_campaign_json(result, args.output)
+    summary = result.predict_summary()
+    if not args.quiet:
+        print()
+        print(render_summary(result.to_payload()))
+        print(f"\nwrote {path}")
+    if summary is None:     # pragma: no cover - jobs is non-empty here
+        print("error: no predictions produced", file=sys.stderr)
+        return 2
+    print(f"predict: {summary['jobs']} jobs, "
+          f"MAPE {summary['mape_pct']:.2f}%, "
+          f"worst {summary['max_abs_pct']:.2f}% ({summary['worst']})")
+    failed = False
+    if args.max_mape is not None and summary["mape_pct"] > args.max_mape:
+        print(f"FAIL: MAPE {summary['mape_pct']:.2f}% > "
+              f"--max-mape {args.max_mape}", file=sys.stderr)
+        failed = True
+    if args.max_abs_err is not None \
+            and summary["max_abs_pct"] > args.max_abs_err:
+        print(f"FAIL: worst error {summary['max_abs_pct']:.2f}% > "
+              f"--max-abs-err {args.max_abs_err}", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -280,7 +378,8 @@ def _cmd_clean(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    handler = {"run": _cmd_run, "report": _cmd_report,
+    handler = {"run": _cmd_run, "predict": _cmd_predict,
+               "report": _cmd_report,
                "clean": _cmd_clean, "trace": _cmd_trace,
                "profile": _cmd_profile}[args.command]
     try:

@@ -1,0 +1,105 @@
+"""``campaign predict`` — predicted-vs-actual over a campaign grid.
+
+Runs the exact campaign first (through the shared result cache, so a
+warm matrix costs three file reads per job), then answers every job a
+second time with the analytic model (:mod:`repro.predict`) and attaches
+``predicted_cycles`` / ``predict_error`` / ``predict_latency_us`` to
+each :class:`~repro.campaign.runner.JobRecord`.  The summary block the
+records roll up into (``CampaignResult.predict_summary``) is the
+artefact CI gates on: full-matrix MAPE and worst per-benchmark error.
+
+``fit_from_records`` refits the calibration from the same matrix —
+``campaign predict --fit-calibration`` is how ``calibration.json`` is
+regenerated after a model or simulator change.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.predict import (
+    Calibration,
+    default_calibration,
+    feature_vector,
+    fit_calibration,
+    predict,
+)
+from repro.predict.chains import TraceFeatures
+from repro.predict.service import cached_features
+
+from .cache import ResultCache
+from .jobs import CampaignJob, job_config
+from .runner import JobRecord
+
+
+def _features_by_workload(jobs: Iterable[CampaignJob],
+                          cache_dir: Path,
+                          ) -> Dict[Tuple[str, str, str], TraceFeatures]:
+    """One feature extraction per (suite, bench, core) — modes share
+    it, and the extraction goes through the serve-side feature cache,
+    so a repeated ``campaign predict`` never re-walks a trace."""
+    cache = ResultCache(Path(cache_dir))
+    features: Dict[Tuple[str, str, str], TraceFeatures] = {}
+    for job in jobs:
+        key = (job.suite, job.bench, job.core)
+        if key in features:
+            continue
+        hit = cached_features(
+            {"suite": job.suite, "bench": job.bench, "scale": job.scale},
+            job_config(job), cache)
+        features[key] = hit["features"]
+    return features
+
+
+def attach_predictions(records: List[JobRecord],
+                       jobs: List[CampaignJob],
+                       cache_dir: Path, *,
+                       calibration: Optional[Calibration] = None,
+                       ) -> None:
+    """Predict every job and fill the prediction fields in place.
+
+    *records* and *jobs* are parallel lists (``run_campaign`` keeps
+    submission order).  The per-record ``predict_latency_us`` covers
+    only the prediction itself — features are extracted once per
+    (suite, bench, core) beforehand, mirroring the serve fast path
+    where extraction is cached.
+    """
+    calibration = calibration or default_calibration()
+    features = _features_by_workload(jobs, cache_dir)
+    for record, job in zip(records, jobs):
+        feats = features[(job.suite, job.bench, job.core)]
+        config = job_config(job)
+        start = time.perf_counter()
+        prediction = predict(feats, config, job.mode,
+                             calibration=calibration)
+        latency = time.perf_counter() - start
+        record.predicted_cycles = round(prediction.cycles, 3)
+        record.predict_error = round(
+            (prediction.cycles - record.cycles) / record.cycles * 100, 3)
+        record.predict_latency_us = int(latency * 1e6)
+
+
+def fit_from_records(records: List[JobRecord],
+                     jobs: List[CampaignJob],
+                     cache_dir: Path,
+                     out_path: Path) -> Calibration:
+    """Refit the calibration from an exact matrix and save it."""
+    features = _features_by_workload(jobs, cache_dir)
+    samples = []
+    for record, job in zip(records, jobs):
+        feats = features[(job.suite, job.bench, job.core)]
+        config = job_config(job)
+        samples.append({
+            "bench": f"{job.suite}/{job.bench}",
+            "core": job.core,
+            "mode": job.mode,
+            "features": feature_vector(feats, config, job.mode),
+            "actual": record.cycles,
+        })
+    calibration = fit_calibration(samples)
+    calibration.meta["fitted_from"] = (
+        f"campaign predict matrix ({len(records)} jobs)")
+    calibration.save(out_path)
+    return calibration

@@ -23,29 +23,47 @@ def write_campaign_json(result: CampaignResult, path: Path) -> Path:
 
 
 def render_summary(payload: Dict[str, Any]) -> str:
-    """Human summary of a campaign payload (fresh or loaded from disk)."""
+    """Human summary of a campaign payload (fresh or loaded from disk).
+
+    Handles every historical schema: prediction fields (schema 4) are
+    rendered only when at least one record carries them, so documents
+    written by older versions — or plain ``run`` campaigns — format
+    exactly as before.
+    """
+    results = payload["results"]
+    with_predict = any(rec.get("predict_error") is not None
+                       for rec in results)
     rows: List[List[Any]] = []
-    for rec in payload["results"]:
+    for rec in results:
         speedup = rec.get("speedup")
         rate = rec.get("sim_cycles_per_sec")
-        rows.append([
+        row = [
             rec["suite"], rec["bench"], rec["core"], rec["mode"],
             rec["cycles"], f"{rec['ipc']:.3f}",
             percent(speedup) if speedup is not None else "-",
             "hit" if rec["cache_hit"] else "miss",
             f"{rate:,.0f}" if rate is not None else "-",
             f"{rec['wall_time_s']:.2f}s",
-        ])
-    table = format_table(
-        "Campaign results",
-        ["suite", "bench", "core", "mode", "cycles", "IPC", "speedup",
-         "cache", "sim cyc/s", "time"],
-        rows)
+        ]
+        if with_predict:
+            err = rec.get("predict_error")
+            row.append(f"{err:+.1f}%" if err is not None else "-")
+        rows.append(row)
+    headers = ["suite", "bench", "core", "mode", "cycles", "IPC",
+               "speedup", "cache", "sim cyc/s", "time"]
+    if with_predict:
+        headers.append("pred err")
+    table = format_table("Campaign results", headers, rows)
     cache = payload["cache"]
     footer = (f"{payload['jobs']} jobs, {payload['workers']} worker(s), "
               f"{payload['wall_time_s']:.2f}s wall; cache "
               f"{cache['hits']} hit / {cache['misses']} miss "
               f"({percent(cache['hit_rate'])})")
+    predict = payload.get("predict")
+    if predict:
+        footer += (f"\npredict: MAPE {predict['mape_pct']:.2f}%, "
+                   f"worst {predict['max_abs_pct']:.2f}% "
+                   f"({predict['worst']})")
     return f"{table}\n{footer}"
 
 

@@ -70,6 +70,14 @@ class JobRecord:
     #: of the ``simulate`` span); ``None`` on cache hits, which never
     #: ran the simulator
     sim_cycles_per_sec: Optional[float] = None
+    #: analytic-model prediction for this job (``campaign predict``
+    #: only; plain runs leave all three unset)
+    predicted_cycles: Optional[float] = None
+    #: signed relative error of the prediction, in percent
+    #: ((predicted - actual) / actual * 100)
+    predict_error: Optional[float] = None
+    #: wall time of the prediction itself (features + dot product)
+    predict_latency_us: Optional[int] = None
 
     @property
     def label(self) -> str:
@@ -110,10 +118,32 @@ class CampaignResult:
         return {name: round(seconds, 4)
                 for name, seconds in sorted(totals.items())}
 
+    def predict_summary(self) -> Optional[Dict[str, Any]]:
+        """Aggregate predicted-vs-actual accuracy, when present.
+
+        ``None`` unless at least one record carries ``predict_error``
+        (i.e. the campaign ran through ``campaign predict``), so plain
+        runs serialise without a ``predict`` block at all.
+        """
+        errs = [(abs(r.predict_error), r) for r in self.records
+                if r.predict_error is not None]
+        if not errs:
+            return None
+        worst_err, worst = max(errs, key=lambda pair: pair[0])
+        return {
+            "jobs": len(errs),
+            "mape_pct": round(sum(e for e, _ in errs) / len(errs), 3),
+            "max_abs_pct": round(worst_err, 3),
+            "worst": worst.label,
+        }
+
     def to_payload(self) -> Dict[str, Any]:
         """JSON document written to ``BENCH_campaign.json``."""
+        predict = self.predict_summary()
+        extra = {"predict": predict} if predict is not None else {}
         return {
-            "schema": 3,
+            "schema": 4,
+            **extra,
             "model_version": model_version(),
             "workers": self.workers,
             "jobs": len(self.records),

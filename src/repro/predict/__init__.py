@@ -1,0 +1,46 @@
+"""Analytic throughput prediction — the zero-simulation fast path.
+
+``repro.predict`` walks a dynamic trace's dependence graph once and
+returns predicted cycles / IPC / ReDSOC speedup with a confidence
+interval, in microseconds instead of the seconds a cycle-level
+simulation costs.  The model follows the OSACA-style decomposition:
+
+* **critical path** — the longest producer→consumer chain through the
+  trace, accumulated in ticks with the same per-mode start rules the
+  simulator uses (edge-aligned for BASELINE, transparent for REDSOC,
+  transparent-unless-edge-crossing for MOS), so the slack-recycling
+  credit comes from the same :class:`~repro.core.slack_lut.SlackLUT`
+  the core reads at decode;
+* **throughput bounds** — FU-port pressure per operation class,
+  front-end width, and the taken-branch fetch limit;
+* **penalty terms** — branch mispredictions (an exact gshare replay of
+  the fetch stream) and memory latency beyond the L1.
+
+A per-``(core, mode)`` calibration (:mod:`repro.predict.calibrate`)
+blends those ingredients with non-negative least-squares constants
+fitted against exact runs; non-negativity is what makes the metamorphic
+guarantees (coarser ticks never predict faster, wider issue never
+predicts slower) structural rather than statistical.
+"""
+
+from .calibrate import (
+    Calibration,
+    ModeFit,
+    default_calibration,
+    fit_calibration,
+)
+from .chains import TraceFeatures, extract_features
+from .model import FEATURE_NAMES, Prediction, feature_vector, predict
+
+__all__ = [
+    "Calibration",
+    "FEATURE_NAMES",
+    "ModeFit",
+    "Prediction",
+    "TraceFeatures",
+    "default_calibration",
+    "extract_features",
+    "feature_vector",
+    "fit_calibration",
+    "predict",
+]

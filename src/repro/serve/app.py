@@ -127,6 +127,14 @@ class ServeApp:
     async def start(self) -> None:
         await self.server.start()
         await self.pool.warm_up()
+        # pre-import the predict stack, load the calibration and warm
+        # the source-digest memo now, so the first inline estimate
+        # doesn't pay import/hashing latency on the event loop (it
+        # would block every in-flight lane)
+        from repro.predict.calibrate import default_calibration
+        from repro.predict.service import predict_version
+        default_calibration()
+        predict_version()
         for _ in range(self.config.dispatchers):
             self._dispatchers.append(
                 asyncio.ensure_future(self._dispatch_loop()))
@@ -365,6 +373,29 @@ class ServeApp:
             payload["served"] = "lru"
             return HttpResponse.json(payload)
 
+        if spec.kind == "estimate":
+            # warm-cache estimates answer inline on the event loop —
+            # two small file reads plus a dot product, no simulation,
+            # no queueing.  A cold feature cache returns None and the
+            # request takes the normal worker-pool path (which may
+            # generate the trace).
+            from repro.predict.service import estimate_payload
+            result = estimate_payload(
+                spec.worker_payloads()[0],
+                str(self.config.resolved_cache_dir()),
+                allow_generate=False)
+            if result is not None:
+                self.metrics.counter("serve.estimate_inline").inc()
+                self.metrics.counter("serve.cache_hits").inc()
+                if root is not None:
+                    root.set(served="inline")
+                payload = {"api": API_VERSION, "kind": "estimate",
+                           "result": result}
+                self._lru_put(fingerprint, payload)
+                response = dict(payload)
+                response["served"] = "inline"
+                return HttpResponse.json(response)
+
         ticket = self.queue.submit(
             spec, trace_ctx=root.ctx if root is not None else None)
         if root is not None and self.tracer is not None:
@@ -414,7 +445,7 @@ class ServeApp:
             root.set(served="coalesced" if shared else "worker")
         payload = {"api": API_VERSION, "kind": spec.kind,
                    "result": result}
-        if spec.kind in ("simulate", "sweep"):
+        if spec.kind in ("simulate", "sweep", "estimate"):
             self._lru_put(fingerprint, payload)
         response = dict(payload)
         response["served"] = "coalesced" if shared else "worker"

@@ -31,7 +31,8 @@ from typing import List, Optional
 
 from .app import ServeConfig, ServeDaemon
 from .client import ServeClient, ServeError
-from .loadgen import DEFAULT_OUTPUT, run_loadgen, write_report
+from .loadgen import DEFAULT_OUTPUT, estimate_mix, run_loadgen, \
+    write_report
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -92,12 +93,19 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="S", help="per-request timeout")
     loadgen.add_argument("--include-errors", action="store_true",
                          help="mix in malformed requests (400 path)")
+    loadgen.add_argument("--estimate-only", action="store_true",
+                         help="pure estimate mix (measures the "
+                              "analytic fast path alone)")
     loadgen.add_argument("--output", "-o", type=Path,
                          default=Path(DEFAULT_OUTPUT))
     loadgen.add_argument("--assert-zero-5xx", action="store_true",
                          help="exit 1 if any 5xx was observed")
     loadgen.add_argument("--max-p99-ms", type=float, default=None,
                          help="exit 1 if p99 latency exceeds this")
+    loadgen.add_argument("--max-estimate-p99-ms", type=float,
+                         default=None,
+                         help="exit 1 if the estimate request class's "
+                              "p99 latency exceeds this")
     loadgen.add_argument("--min-throughput", type=float, default=None,
                          metavar="RPS",
                          help="exit 1 if throughput falls below this")
@@ -212,7 +220,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             requests=args.requests, concurrency=args.concurrency,
             rate=args.rate, seed=args.seed, timeout_s=args.timeout,
             include_errors=args.include_errors,
-            trace=args.trace or args.trace_dir is not None)
+            trace=args.trace or args.trace_dir is not None,
+            mix=estimate_mix() if args.estimate_only else None)
     finally:
         if proc is not None:
             drain_s = _drain_spawned(proc)
@@ -247,6 +256,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             lat["p99"] is None or lat["p99"] > args.max_p99_ms):
         failures.append(f"p99 {fmt(lat['p99'])}ms exceeds "
                         f"{args.max_p99_ms}ms")
+    if args.max_estimate_p99_ms is not None:
+        est_p99 = report.kind_percentile_ms("estimate", 0.99)
+        if est_p99 is None:
+            failures.append("no successful estimate requests to gate")
+        elif est_p99 > args.max_estimate_p99_ms:
+            failures.append(f"estimate p99 {fmt(est_p99)}ms exceeds "
+                            f"{args.max_estimate_p99_ms}ms")
     if args.min_throughput is not None and \
             payload["throughput_rps"] < args.min_throughput:
         failures.append(f"throughput {payload['throughput_rps']} "

@@ -231,6 +231,31 @@ class ServeClient:
         body.update(workload)
         return self.request("POST", "/v1/sweep", body)
 
+    def estimate(self, *, suite: Optional[str] = None,
+                 bench: Optional[str] = None,
+                 asm: Optional[str] = None,
+                 program: Optional[Dict[str, Any]] = None,
+                 core: str = "small", mode: str = "baseline",
+                 scale: Optional[int] = None,
+                 confidence: Optional[float] = None,
+                 **extra: Any) -> Dict[str, Any]:
+        """Analytic prediction — no simulation; answers carry
+        ``predicted=true`` plus a calibrated ``error_bound``."""
+        body: Dict[str, Any] = {"api": API_VERSION, "core": core,
+                                "mode": mode}
+        if suite is not None:
+            body.update(suite=suite, bench=bench)
+        if scale is not None:
+            body["scale"] = scale
+        if asm is not None:
+            body["asm"] = asm
+        if program is not None:
+            body["program"] = program
+        if confidence is not None:
+            body["confidence"] = confidence
+        body.update(extra)
+        return self.request("POST", "/v1/estimate", body)
+
     def verify(self, *, seed: int = 0, budget: int = 10,
                core: str = "small", **extra: Any) -> Dict[str, Any]:
         body = {"api": API_VERSION, "seed": seed, "budget": budget,

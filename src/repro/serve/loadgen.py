@@ -94,18 +94,34 @@ def _sweep_body(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
                      "priority": "batch"}
 
 
+def _estimate_body(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
+    # same rotation as the named simulates, so after the first rounds
+    # the feature cache is warm and estimates answer inline
+    suite, bench, scale = _NAMED[rng.randrange(len(_NAMED))]
+    mode = rng.choice(("baseline", "redsoc", "mos"))
+    return "estimate", {"api": API_VERSION, "suite": suite,
+                        "bench": bench, "scale": scale,
+                        "core": "small", "mode": mode}
+
+
 def _bad_body(rng: random.Random) -> Tuple[str, Dict[str, Any]]:
     return "simulate", {"api": API_VERSION, "asm": _BAD_ASM,
                         "core": "small", "mode": "baseline"}
 
 
 def default_mix(include_errors: bool = False) -> List[MixItem]:
-    mix = [MixItem("named-simulate", 0.62, _named_body),
-           MixItem("inline-simulate", 0.30, _inline_body),
+    mix = [MixItem("named-simulate", 0.50, _named_body),
+           MixItem("inline-simulate", 0.27, _inline_body),
+           MixItem("estimate", 0.15, _estimate_body),
            MixItem("sweep", 0.08, _sweep_body)]
     if include_errors:
         mix.append(MixItem("bad-asm", 0.05, _bad_body))
     return mix
+
+
+def estimate_mix() -> List[MixItem]:
+    """Pure-estimate mix — measures the analytic fast path alone."""
+    return [MixItem("estimate", 1.0, _estimate_body)]
 
 
 def _pick(mix: List[MixItem], rng: random.Random) -> MixItem:
@@ -168,6 +184,16 @@ class LoadReport:
             return None
         index = min(len(lats) - 1, int(p * len(lats)))
         return lats[index] / 1000.0
+
+    def kind_percentile_ms(self, kind: str,
+                           p: float) -> Optional[float]:
+        """Latency percentile of one request kind (successes only) —
+        what the ``--max-estimate-p99-ms`` gate reads."""
+        lats = sorted(s.latency_us for s in self.samples
+                      if s.kind == kind and s.status < 400)
+        if not lats:
+            return None
+        return lats[min(len(lats) - 1, int(p * len(lats)))] / 1000.0
 
     def latency_cdf_ms(self) -> Dict[str, float]:
         """Exact fraction of successful requests at or under each
@@ -243,7 +269,7 @@ def _temperature(payload: Any) -> str:
     coalesced flight) or cold (actually simulated)."""
     if not isinstance(payload, dict):
         return ""
-    if payload.get("served") in ("lru", "coalesced"):
+    if payload.get("served") in ("lru", "coalesced", "inline"):
         return "warm"
     result = payload.get("result")
     if isinstance(result, dict):

@@ -265,6 +265,32 @@ class SweepSpec(BaseSpec):
 
 
 @dataclass(frozen=True)
+class EstimateSpec(BaseSpec):
+    """One (workload, core, mode) analytic prediction — no simulation.
+
+    Engines are irrelevant to a prediction (the model answers for the
+    machine, not a backend), but an ``engine`` field is still
+    *validated* so a typo'd backend name fails loudly instead of being
+    silently ignored.
+    """
+
+    workload_json: str = "{}"
+    core: str = "small"
+    mode: str = "baseline"
+    confidence: float = 0.9
+
+    @property
+    def kind(self) -> str:
+        return "estimate"
+
+    def worker_payloads(self) -> List[Dict[str, Any]]:
+        payload = json.loads(self.workload_json)
+        payload.update({"core": self.core, "mode": self.mode,
+                        "confidence": self.confidence})
+        return [payload]
+
+
+@dataclass(frozen=True)
 class VerifySpec(BaseSpec):
     """A seeded differential-fuzz batch."""
 
@@ -321,6 +347,23 @@ def parse_sweep(body: Dict[str, Any]) -> SweepSpec:
         cores=cores, modes=modes, engine=_parse_engine(body))
 
 
+def parse_estimate(body: Dict[str, Any]) -> EstimateSpec:
+    confidence = body.get("confidence", 0.9)
+    if isinstance(confidence, bool) or \
+            not isinstance(confidence, (int, float)) or \
+            not 0.0 < float(confidence) < 1.0:
+        raise _bad("bad-confidence",
+                   f"confidence must be a number in (0, 1) exclusive, "
+                   f"got {confidence!r}")
+    _parse_engine(body)     # validated, then ignored: see EstimateSpec
+    return EstimateSpec(
+        priority=_parse_priority(body),
+        deadline_ms=_parse_deadline(body),
+        workload_json=_freeze_workload(_parse_workload(body)),
+        core=_parse_core(body), mode=_parse_mode(body),
+        confidence=float(confidence))
+
+
 def parse_verify(body: Dict[str, Any]) -> VerifySpec:
     budget = body.get("budget", 10)
     seed = body.get("seed", 0)
@@ -351,6 +394,7 @@ def parse_verify(body: Dict[str, Any]) -> VerifySpec:
 _PARSERS = {
     "simulate": parse_simulate,
     "sweep": parse_sweep,
+    "estimate": parse_estimate,
     "verify": parse_verify,
 }
 

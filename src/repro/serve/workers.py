@@ -71,6 +71,10 @@ def _synthesize_trace_spans(trace_ctx: Dict[str, Any],
 
     if kind == "verify":
         phases = [("verify.fuzz", result.get("wall_time_s", 0.0), {})]
+    elif kind == "estimate":
+        phases = [("predict.estimate",
+                   result.get("predict_latency_us", 0) / 1e6,
+                   {"cache_hit": result.get("cache_hit")})]
     else:
         spans_s: Dict[str, float] = result.get("spans", {})
         phases = []
@@ -108,6 +112,8 @@ def execute_payload(kind: str, payload: Dict[str, Any],
     trace_ctx = payload.pop("_trace", None)
     if kind == "simulate":
         result = _execute_simulate(payload, cache_dir)
+    elif kind == "estimate":
+        result = _execute_estimate(payload, cache_dir)
     elif kind == "verify":
         result = _execute_verify(payload)
     elif kind == "sleep":   # chaos/debug hook (gated by the app)
@@ -220,6 +226,15 @@ def _execute_inline(payload: Dict[str, Any],
         "wall_time_s": round(time.perf_counter() - start, 6),
         "worker": f"pid-{os.getpid()}",
     }
+
+
+def _execute_estimate(payload: Dict[str, Any],
+                      cache_dir: str) -> Dict[str, Any]:
+    from repro.predict.service import estimate_payload
+
+    result = estimate_payload(payload, cache_dir, allow_generate=True)
+    assert result is not None    # allow_generate=True never returns None
+    return result
 
 
 def _execute_verify(payload: Dict[str, Any]) -> Dict[str, Any]:

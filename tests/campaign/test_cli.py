@@ -158,3 +158,50 @@ def test_report_rejects_unreadable_json(tmp_path, content):
     assert proc.stderr.startswith("error:")
     assert "Traceback" not in proc.stderr
     assert len(proc.stderr.strip().splitlines()) == 1
+
+
+PREDICT_ARGS = ["predict", "--suites", "ml", "--benchmarks", "pool0",
+                "--cores", "small", "--modes", "baseline", "redsoc",
+                "--scale", "3"]
+
+
+def test_predict_subcommand_attaches_errors(tmp_path):
+    proc = _campaign(PREDICT_ARGS + ["--jobs", "1"], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert "predict:" in proc.stdout and "MAPE" in proc.stdout
+    assert "pred err" in proc.stdout
+
+    payload = json.loads(
+        (tmp_path / "BENCH_campaign.json").read_text())
+    assert payload["schema"] == 4
+    assert payload["predict"]["jobs"] == 2
+    assert payload["predict"]["mape_pct"] >= 0.0
+    for rec in payload["results"]:
+        assert rec["predicted_cycles"] is not None
+        assert rec["predict_error"] is not None
+        assert rec["predict_latency_us"] >= 0
+
+    # a plain run must NOT carry a predict block (schema stays clean)
+    proc = _campaign(RUN_ARGS + ["--jobs", "1", "-q"], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    rerun = json.loads((tmp_path / "BENCH_campaign.json").read_text())
+    assert "predict" not in rerun
+    assert rerun["results"][0]["predict_error"] is None
+
+
+def test_predict_gates_fail_loudly(tmp_path):
+    proc = _campaign(PREDICT_ARGS + ["--jobs", "1", "-q",
+                                     "--max-abs-err", "0.0001"],
+                     tmp_path)
+    assert proc.returncode == 1
+    assert "FAIL" in proc.stderr
+
+
+def test_predict_refits_calibration(tmp_path):
+    proc = _campaign(PREDICT_ARGS + ["--jobs", "1", "-q",
+                                     "--fit-calibration", "cal.json"],
+                     tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    refit = json.loads((tmp_path / "cal.json").read_text())
+    assert refit["schema"] == 1
+    assert refit["fits"]

@@ -1,0 +1,59 @@
+"""Report rendering stays backward-compatible with old BENCH files.
+
+``BENCH_campaign.json`` documents written before the prediction fields
+existed (schema 2: no telemetry, no spans; schema 3: telemetry but no
+``predict`` block) must keep rendering — no ``KeyError``, no phantom
+"pred err" column — because users re-report archived artefacts.
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.report import load_campaign_json, render_summary
+
+DATA = Path(__file__).parent / "data"
+OLD_FIXTURES = ["bench_campaign_schema2.json",
+                "bench_campaign_schema3.json"]
+
+
+@pytest.mark.parametrize("fixture", OLD_FIXTURES)
+class TestOldSchemaRendering:
+    def test_renders_without_error(self, fixture):
+        payload = load_campaign_json(DATA / fixture)
+        summary = render_summary(payload)
+        assert "Campaign results" in summary
+        assert "jobs" in summary
+
+    def test_no_predict_column_for_old_documents(self, fixture):
+        summary = render_summary(load_campaign_json(DATA / fixture))
+        assert "pred err" not in summary
+        assert "predict:" not in summary
+
+    def test_report_subcommand_exits_zero(self, fixture, tmp_path):
+        from tests.campaign.test_cli import _campaign
+        shutil.copy(DATA / fixture, tmp_path / "BENCH_campaign.json")
+        proc = _campaign(["report"], tmp_path)
+        assert proc.returncode == 0, proc.stderr
+        assert "Campaign results" in proc.stdout
+
+
+def test_schema3_rows_render_speedup_and_cache():
+    payload = load_campaign_json(DATA / "bench_campaign_schema3.json")
+    summary = render_summary(payload)
+    assert "21.6%" in summary       # the mos speedup column
+    assert "hit" in summary and "miss" in summary
+
+
+def test_predict_block_renders_when_present():
+    payload = load_campaign_json(DATA / "bench_campaign_schema3.json")
+    payload["predict"] = {"jobs": 2, "mape_pct": 1.83,
+                          "max_abs_pct": 13.5,
+                          "worst": "mibench/crc@small:mos"}
+    for rec in payload["results"]:
+        rec["predict_error"] = -1.5
+        rec["predicted_cycles"] = rec["cycles"] * 0.985
+    summary = render_summary(payload)
+    assert "pred err" in summary
+    assert "predict: MAPE 1.83%" in summary

@@ -51,7 +51,7 @@ class TestJobSpans:
         assert totals["simulate"] == pytest.approx(
             sum(r.spans["simulate"] for r in result.records), abs=1e-3)
         payload = result.to_payload()
-        assert payload["schema"] == 3
+        assert payload["schema"] == 4
         assert payload["telemetry"]["span_totals_s"] == totals
         assert payload["telemetry"]["workers_used"] == \
             sorted({r.worker for r in result.records})

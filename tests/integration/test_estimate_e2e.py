@@ -1,0 +1,96 @@
+"""End-to-end: estimate, then simulate the same inline program.
+
+One daemon serves both request classes against one shared cache.  The
+analytic estimate must land inside its own advertised error bound when
+the exact simulation answers, and a warm estimate must be far cheaper
+than a cold simulation — that asymmetry is the entire point of the
+``estimate`` fast path.
+"""
+
+import pytest
+
+from repro.serve import ServeClient, ServeConfig, ServeDaemon
+
+# a flag-serialised loop: ~4k dynamic instructions, long dependence
+# chains — the shape the critical-path model predicts well
+ASM = """
+    mov   r1, #0x1234
+    mov   r2, #800
+loop:
+    eor   r1, r1, #0x5A
+    ror   r1, r1, #3
+    add   r3, r1, r1
+    subs  r2, r2, #1
+    bne   loop
+    halt
+"""
+
+MODES = ("baseline", "redsoc", "mos")
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    config = ServeConfig(port=0, workers=2,
+                         cache_dir=tmp_path_factory.mktemp("cache"))
+    d = ServeDaemon(config)
+    port = d.start_background()
+    yield d, port
+    d.stop_background()
+
+
+@pytest.fixture(scope="module")
+def results(daemon):
+    """Cold estimate, cold simulate, then a warm estimate, per mode."""
+    _, port = daemon
+    out = {}
+    with ServeClient(port=port, timeout_s=120) as client:
+        for mode in MODES:
+            body = dict(asm=ASM, name="e2e", core="small", mode=mode)
+            est = client.estimate(**body)
+            sim = client.simulate(**body)
+            warm = client.estimate(**body, confidence=0.8)
+            out[mode] = (est, sim, warm)
+    return out
+
+
+def test_estimate_is_marked_predicted(results):
+    for mode, (est, sim, _) in results.items():
+        assert est["kind"] == "estimate"
+        assert est["result"]["predicted"] is True
+        assert "predicted" not in sim["result"]
+        assert est["result"]["mode"] == mode
+
+
+def test_error_bound_holds_against_exact_simulation(results):
+    for mode, (est, sim, _) in results.items():
+        predicted = est["result"]["cycles"]
+        actual = sim["result"]["cycles"]
+        bound_pct = est["result"]["error_bound"]["max_pct"]
+        rel_pct = abs(predicted - actual) / actual * 100.0
+        assert rel_pct <= bound_pct, \
+            f"{mode}: {rel_pct:.2f}% off, bound {bound_pct}%"
+
+
+def test_interval_brackets_the_exact_result(results):
+    for mode, (est, sim, _) in results.items():
+        interval = est["result"]["interval"]
+        assert interval["lo"] <= sim["result"]["cycles"] * 1.01, mode
+
+
+def test_warm_estimate_is_inline_and_fast(results):
+    for mode, (_, sim, warm) in results.items():
+        assert warm["served"] == "inline", mode
+        est_s = warm["result"]["predict_latency_us"] / 1e6
+        sim_s = sim["result"]["wall_time_s"]
+        assert not sim["result"]["cache_hit"]   # simulate ran cold
+        # the fast path must beat a cold simulation by a wide margin
+        assert est_s < sim_s / 10, (mode, est_s, sim_s)
+        assert est_s < 0.005                    # interactive: <5 ms
+
+
+def test_modes_ordered_like_the_simulator(results):
+    predicted = {m: results[m][0]["result"]["cycles"] for m in MODES}
+    exact = {m: results[m][1]["result"]["cycles"] for m in MODES}
+    for mode in ("redsoc", "mos"):
+        assert predicted[mode] <= predicted["baseline"] + 1e-9
+        assert exact[mode] <= exact["baseline"]

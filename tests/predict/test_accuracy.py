@@ -1,0 +1,113 @@
+"""Predicted-vs-actual validation over the full benchmark matrix.
+
+``data/matrix.json`` pins the extracted features and the *exact*
+simulated cycle counts for every (suite/bench, core, mode) job; the
+committed default calibration must reproduce them within the accuracy
+gates the predictor advertises:
+
+* every single job within 15% relative error;
+* mean absolute percentage error over the whole matrix within 8%.
+
+A consistency leg re-extracts features for one cheap benchmark from a
+freshly generated trace and demands bit-identical payloads — so the
+fixture cannot silently go stale against the extractor.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import CORES
+from repro.predict.calibrate import default_calibration
+from repro.predict.chains import FEATURE_SCHEMA, TraceFeatures, \
+    extract_features
+from repro.predict.model import predict
+
+MATRIX = Path(__file__).parent / "data" / "matrix.json"
+
+MAX_JOB_ERR_PCT = 15.0
+MAX_MAPE_PCT = 8.0
+
+
+def _entries():
+    payload = json.loads(MATRIX.read_text())
+    assert payload["schema"] == 1
+    return payload["entries"]
+
+
+@pytest.fixture(scope="module")
+def predictions():
+    """[(label, predicted, actual, rel_err)] over the whole matrix."""
+    calibration = default_calibration()
+    rows = []
+    for entry in _entries():
+        features = TraceFeatures.from_payload(entry["features"])
+        config = CORES[entry["core"]]
+        for mode, actual in sorted(entry["actuals"].items()):
+            predicted = predict(features, config, mode,
+                                calibration=calibration).cycles
+            rel = abs(predicted - actual) / actual
+            rows.append((f"{entry['bench']}@{entry['core']}:{mode}",
+                         predicted, actual, rel))
+    return rows
+
+
+def test_matrix_covers_the_full_grid():
+    entries = _entries()
+    assert len(entries) == 45          # 15 benchmarks x 3 cores
+    assert all(len(e["actuals"]) == 3 for e in entries)
+    assert all(e["features"]["feature_schema"] == FEATURE_SCHEMA
+               for e in entries)
+
+
+def test_every_job_within_15_percent(predictions):
+    violations = [(label, round(rel * 100, 2))
+                  for label, _, _, rel in predictions
+                  if rel * 100 > MAX_JOB_ERR_PCT]
+    assert not violations, \
+        f"jobs above {MAX_JOB_ERR_PCT}%: {violations}"
+
+
+def test_full_matrix_mape_within_8_percent(predictions):
+    mape = 100.0 * sum(rel for *_, rel in predictions) / len(predictions)
+    assert mape <= MAX_MAPE_PCT, f"MAPE {mape:.2f}% > {MAX_MAPE_PCT}%"
+
+
+def test_per_benchmark_worst_case_is_bounded(predictions):
+    worst = {}
+    for label, _, _, rel in predictions:
+        bench = label.split("@")[0]
+        worst[bench] = max(worst.get(bench, 0.0), rel * 100)
+    offenders = {b: round(w, 2) for b, w in worst.items()
+                 if w > MAX_JOB_ERR_PCT}
+    assert not offenders, offenders
+
+
+def test_calibration_fixture_is_well_formed():
+    calibration = default_calibration()
+    assert calibration.fits
+    for key, fit in calibration.fits.items():
+        assert fit.samples > 0, key
+        quantiles = fit.error_quantiles
+        assert quantiles.get("p50", 0.0) <= quantiles.get("max", 0.0)
+        assert all(c >= 0 for c in fit.coef.values()), \
+            f"negative coefficient in {key}"
+
+
+@pytest.mark.parametrize("core", ["small", "medium", "big"])
+def test_fixture_features_match_fresh_extraction(core):
+    # mibench/bitcnt is the cheapest real benchmark (~11k dynamic
+    # instructions); regenerate its trace and features from scratch
+    from repro.campaign.jobs import enumerate_jobs, job_config, job_trace
+
+    [job] = [j for j in enumerate_jobs()
+             if j.suite == "mibench" and j.bench == "bitcnt"
+             and j.core == core and j.mode == "baseline"]
+    fresh = extract_features(job_trace(job), job_config(job))
+    [entry] = [e for e in _entries()
+               if e["bench"] == "mibench/bitcnt" and e["core"] == core]
+    fixture = json.loads(json.dumps(fresh.to_payload()))  # via JSON
+    assert fixture == entry["features"], \
+        "extractor drifted from the committed matrix fixture — " \
+        "regenerate tests/predict/data/matrix.json"

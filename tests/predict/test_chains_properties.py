@@ -1,0 +1,172 @@
+"""Property-based tests for the chain/feature extractor.
+
+Hypothesis generates random (valid) programs; for each one the
+extractor's structural invariants must hold — chain statistics bounded
+by the dynamic instruction count, per-mode critical paths ordered the
+way the scheduler's guarantees order them, and the feature payload
+surviving a JSON round trip.  Degenerate traces (empty, single
+instruction) and the extractor's trickiest inputs (SIMD chains,
+carry-flag chains) get explicit cases.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import CORES
+from repro.isa import Asm, Cond, ShiftOp, SimdType, r, v
+from repro.pipeline.trace import Trace, generate_trace
+from repro.predict.chains import TraceFeatures, extract_features
+
+SMALL = CORES["small"]
+BIG = CORES["big"]
+REGS = [r(i) for i in range(1, 8)]
+
+
+@st.composite
+def random_program(draw):
+    """A short random loop mixing ALU, memory, SIMD and flag ops."""
+    a = Asm("chains-prop")
+    a.data_words(0x1000, range(32))
+    for reg in REGS:
+        a.mov(reg, draw(st.integers(min_value=0, max_value=0xFFFF)))
+    a.mov(r(9), 0x1000)
+    a.mov(r(8), draw(st.integers(min_value=1, max_value=6)))
+    a.vdup(v(0), r(1), SimdType.I16)
+    a.vdup(v(1), r(2), SimdType.I16)
+    a.label("loop")
+    ops = draw(st.lists(st.integers(min_value=0, max_value=8),
+                        min_size=2, max_size=14))
+    for choice in ops:
+        dst = REGS[draw(st.integers(min_value=0, max_value=6))]
+        src1 = REGS[draw(st.integers(min_value=0, max_value=6))]
+        src2 = REGS[draw(st.integers(min_value=0, max_value=6))]
+        if choice == 0:
+            a.add(dst, src1, src2)
+        elif choice == 1:
+            a.eor(dst, src1, src2)
+        elif choice == 2:
+            a.mul(dst, src1, src2)
+        elif choice == 3:
+            a.ldr(dst, r(9), draw(st.integers(min_value=0,
+                                              max_value=15)) * 4)
+        elif choice == 4:
+            a.str_(src1, r(9), draw(st.integers(min_value=0,
+                                                max_value=15)) * 4)
+        elif choice == 5:
+            a.adc(dst, src1, src2)
+        elif choice == 6:
+            a.vadd(v(0), v(0), v(1), SimdType.I16)
+        elif choice == 7:
+            a.vmla(v(1), v(0), v(1), SimdType.I16)
+        else:
+            a.add(dst, src1, src2, shift=ShiftOp.ROR,
+                  shift_amt=draw(st.integers(min_value=1, max_value=7)))
+    a.subs(r(8), r(8), 1)
+    a.b("loop", cond=Cond.NE)
+    a.halt()
+    return a.finish()
+
+
+def _check_invariants(features: TraceFeatures, n: int) -> None:
+    assert features.n == n
+    assert 0 <= features.chain_count <= n
+    assert 0 <= features.max_chain_len <= n
+    assert 0.0 <= features.mean_chain_len <= features.max_chain_len
+    assert sum(features.op_counts.values()) == n
+    assert 0 <= features.hl_loads <= features.loads <= n
+    assert 0 <= features.stores <= n
+    assert 0 <= features.mispredicts <= features.cond_branches <= n
+    assert 0 <= features.taken_branches <= n
+    assert 0 <= features.mem_chain_cycles <= features.load_extra_cycles
+    crit = features.crit_cycles
+    assert set(crit) == {"baseline", "redsoc", "mos"}
+    assert 0.0 <= crit["redsoc"] <= crit["baseline"]
+    assert 0.0 <= crit["mos"] <= crit["baseline"]
+
+
+@given(random_program())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+def test_invariants_on_random_programs(program):
+    trace = generate_trace(program)
+    for config in (SMALL, BIG):
+        _check_invariants(extract_features(trace, config), len(trace))
+
+
+@given(random_program())
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+def test_payload_roundtrip_is_stable(program):
+    trace = generate_trace(program)
+    features = extract_features(trace, SMALL)
+    payload = json.loads(json.dumps(features.to_payload()))
+    rebuilt = TraceFeatures.from_payload(payload)
+    assert rebuilt.to_payload() == features.to_payload()
+
+
+@given(random_program())
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+def test_extraction_is_deterministic(program):
+    trace = generate_trace(program)
+    a = extract_features(trace, SMALL)
+    b = extract_features(trace, SMALL)
+    assert a.to_payload() == b.to_payload()
+
+
+def test_empty_trace():
+    empty = Trace(name="empty", entries=[], final_regs={}, final_mem={})
+    features = extract_features(empty, SMALL)
+    _check_invariants(features, 0)
+    assert features.mean_chain_len == 0.0
+    assert features.crit_cycles["baseline"] == 0.0
+
+
+def test_single_instruction_trace():
+    a = Asm("one")
+    a.halt()
+    trace = generate_trace(a.finish())
+    features = extract_features(trace, SMALL)
+    _check_invariants(features, len(trace))
+    assert features.chain_count == features.max_chain_len == 1
+
+
+def test_carry_chain_is_one_long_chain():
+    # N dependent adcs through the carry flag + accumulator: the
+    # extractor must see one dominating dependence chain, not N
+    # independent single-op chains
+    depth = 24
+    a = Asm("carry")
+    a.mov(r(1), 1)
+    a.mov(r(2), 0)
+    a.adds(r(2), r(2), r(1))
+    for _ in range(depth):
+        a.adc(r(2), r(2), r(1), s=True)
+    a.halt()
+    features = extract_features(generate_trace(a.finish()), SMALL)
+    _check_invariants(features, features.n)
+    assert features.max_chain_len >= depth
+
+
+def test_simd_multicycle_chain():
+    depth = 16
+    a = Asm("simd")
+    a.mov(r(1), 7)
+    a.vdup(v(0), r(1), SimdType.I16)
+    a.vdup(v(1), r(1), SimdType.I16)
+    for _ in range(depth):
+        a.vmla(v(0), v(0), v(1), SimdType.I16)
+    a.halt()
+    trace = generate_trace(a.finish())
+    for config in (SMALL, BIG):
+        features = extract_features(trace, config)
+        _check_invariants(features, len(trace))
+        assert features.max_chain_len >= depth
+        # a serial multicycle chain cannot finish faster than one op
+        # per cycle, in any mode
+        assert features.crit_cycles["mos"] >= depth

@@ -1,0 +1,88 @@
+"""Metamorphic relations the analytic predictor must satisfy.
+
+The model's non-negative coefficients and the baseline clamp make
+these structural, not statistical — they hold for *any* workload, so
+each relation is checked on real benchmark traces across cores:
+
+* recycling never predicted slower: redsoc/mos <= baseline prediction;
+* a wider front end is never predicted slower;
+* a coarser tick base (fewer ticks per cycle = less visible slack)
+  never predicts a *faster* redsoc execution.  (MOS is exempt: its
+  eager-window rule is genuinely non-monotone under re-quantization,
+  in the simulator as well as the model.)
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.campaign.jobs import CampaignJob, job_trace
+from repro.core import CORES
+from repro.predict.chains import extract_features
+from repro.predict.model import predict
+
+WORKLOADS = [("ml", "pool0", 3), ("mibench", "crc", 32)]
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {f"{suite}/{bench}": job_trace(CampaignJob(
+        suite=suite, bench=bench, core="small", mode="baseline",
+        scale=scale)) for suite, bench, scale in WORKLOADS}
+
+
+@pytest.mark.parametrize("core", ["small", "medium", "big"])
+def test_recycling_never_predicted_slower(traces, core):
+    config = CORES[core]
+    for name, trace in traces.items():
+        features = extract_features(trace, config)
+        base = predict(features, config, "baseline").cycles
+        for mode in ("redsoc", "mos"):
+            cycles = predict(features, config, mode).cycles
+            assert cycles <= base + 1e-9, (name, core, mode)
+
+
+@pytest.mark.parametrize("core", ["small", "big"])
+@pytest.mark.parametrize("mode", ["baseline", "redsoc", "mos"])
+def test_wider_front_never_predicted_slower(traces, core, mode):
+    narrow = CORES[core]
+    wide = replace(narrow, front_width=narrow.front_width * 2)
+    for name, trace in traces.items():
+        p_narrow = predict(extract_features(trace, narrow),
+                           narrow, mode).cycles
+        p_wide = predict(extract_features(trace, wide),
+                         wide, mode).cycles
+        assert p_wide <= p_narrow + 1e-9, (name, core, mode)
+
+
+@pytest.mark.parametrize("core", ["small", "big"])
+def test_coarser_ticks_never_predict_faster_redsoc(traces, core):
+    base = CORES[core]
+    for name, trace in traces.items():
+        cycles = []
+        for tpc in (1, 2, 4, 8):    # coarse -> fine
+            config = replace(base, ticks_per_cycle=tpc)
+            features = extract_features(trace, config)
+            cycles.append(predict(features, config, "redsoc").cycles)
+        for coarse, fine in zip(cycles, cycles[1:]):
+            assert coarse >= fine - 1e-6, (name, core, cycles)
+
+
+def test_interval_brackets_the_point_estimate(traces):
+    config = CORES["small"]
+    for trace in traces.values():
+        features = extract_features(trace, config)
+        for confidence in (0.5, 0.9, 0.99):
+            p = predict(features, config, "mos", confidence=confidence)
+            assert p.interval_lo <= p.cycles <= p.interval_hi
+        narrow = predict(features, config, "mos", confidence=0.5)
+        wide = predict(features, config, "mos", confidence=0.99)
+        assert wide.interval_hi >= narrow.interval_hi
+
+
+def test_invalid_confidence_raises(traces):
+    config = CORES["small"]
+    features = extract_features(next(iter(traces.values())), config)
+    for bad in (0.0, 1.0, -1.0, 2.0):
+        with pytest.raises(ValueError):
+            predict(features, config, "redsoc", confidence=bad)
