@@ -104,8 +104,14 @@ def _build_program(job):
 
 
 def _generator_for(engine: str):
-    """The trace generator a cold run of *engine* pays for."""
-    if engine == "compiled":
+    """The trace generator a cold run of *engine* pays for.
+
+    The lowered backends both ride the codegen trace generator — it
+    produces entry-identical traces (fuzzed nightly) several times
+    faster, and its per-program code cache is exactly the state a
+    warm service process holds.
+    """
+    if engine in ("compiled", "vector"):
         return generate_trace_compiled
     return generate_trace
 

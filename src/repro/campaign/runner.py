@@ -159,65 +159,9 @@ class CampaignResult:
         }
 
 
-def _execute_job(job: CampaignJob, cache_dir: str, force: bool,
-                 profile_dir: Optional[str] = None) -> JobRecord:
-    """Run one job against the shared cache (worker entry point).
-
-    Fast path: the trace-fingerprint index resolves the result key
-    without regenerating the trace, so a fully-warm job is three small
-    file reads.  Slow path: generate the trace, record its fingerprint
-    in the index, probe again, and simulate only on a true miss.
-
-    Each stage is timed into the record's ``spans`` dict; with
-    *profile_dir* set, a cache miss additionally runs the simulation
-    under :mod:`cProfile` and dumps ``<label>.pstats`` there.
-    """
-    start = time.perf_counter()
-    spans: Dict[str, float] = {}
-    cache = ResultCache(Path(cache_dir))
-    config = job_config(job)
-    tkey = trace_index_key(job.suite, job.bench, job.scale)
-    result = None
-    cache_hit = False
-
-    probe_start = time.perf_counter()
-    if not force:
-        fingerprint = cache.get_trace_fingerprint(tkey)
-        if fingerprint is not None:
-            key = result_key_from_fingerprint(fingerprint, config)
-            payload = cache.get(key)
-            if payload is not None:
-                result = payload_to_result(payload, config)
-                cache_hit = True
-    spans["cache_probe"] = time.perf_counter() - probe_start
-
-    if result is None:
-        gen_start = time.perf_counter()
-        trace = job_trace(job)
-        fingerprint = trace_fingerprint(trace)
-        spans["trace_gen"] = time.perf_counter() - gen_start
-        cache.put_trace_fingerprint(tkey, fingerprint)
-        key = result_key_from_fingerprint(fingerprint, config)
-        payload = None if force else cache.get(key)
-        if payload is not None:
-            result = payload_to_result(payload, config)
-            cache_hit = True
-        else:
-            sim_start = time.perf_counter()
-            if profile_dir is not None:
-                profiler = cProfile.Profile()
-                profiler.enable()
-                result = simulate(trace, config)
-                profiler.disable()
-                out_dir = Path(profile_dir)
-                out_dir.mkdir(parents=True, exist_ok=True)
-                profiler.dump_stats(
-                    out_dir / f"{job_slug(job.label)}.pstats")
-            else:
-                result = simulate(trace, config)
-            spans["simulate"] = time.perf_counter() - sim_start
-            cache.put(key, result_to_payload(result))
-
+def _record_for(job: CampaignJob, key: str, result, cache_hit: bool,
+                spans: Dict[str, float], start: float) -> JobRecord:
+    """Assemble one :class:`JobRecord` from an executed job's pieces."""
     sim_seconds = spans.get("simulate", 0.0)
     return JobRecord(
         suite=job.suite, bench=job.bench, core=job.core, mode=job.mode,
@@ -230,6 +174,131 @@ def _execute_job(job: CampaignJob, cache_dir: str, force: bool,
                for name, seconds in spans.items()},
         sim_cycles_per_sec=(round(result.cycles / sim_seconds, 1)
                             if sim_seconds > 0 else None))
+
+
+def _simulate_one(job: CampaignJob, trace, config,
+                  profile_dir: Optional[str]):
+    """Simulate one cache-missed job, honouring the profile hook."""
+    if profile_dir is not None:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = simulate(trace, config)
+        profiler.disable()
+        out_dir = Path(profile_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(out_dir / f"{job_slug(job.label)}.pstats")
+        return result
+    return simulate(trace, config)
+
+
+def _execute_job(job: CampaignJob, cache_dir: str, force: bool,
+                 profile_dir: Optional[str] = None) -> JobRecord:
+    """Run one job against the shared cache (worker entry point)."""
+    return _execute_jobs([job], cache_dir, force, profile_dir)[0]
+
+
+def _execute_jobs(jobs: Sequence[CampaignJob], cache_dir: str,
+                  force: bool,
+                  profile_dir: Optional[str] = None) -> List[JobRecord]:
+    """Run a chunk of jobs against the shared cache (worker entry).
+
+    Fast path per job: the trace-fingerprint index resolves the result
+    key without regenerating the trace, so a fully-warm job is three
+    small file reads.  Slow path: generate the trace, record its
+    fingerprint in the index, probe again, and simulate only on a true
+    miss.
+
+    Cache misses whose engine registers a **batch** entry point
+    (``ENGINES.batch``) are replayed together through one
+    ``simulate_batch`` call — lanes share the columnar decode pass and
+    per-job setup — instead of one ``simulate`` call each; per-lane
+    replay times keep each record's ``simulate`` span meaningful (the
+    shared batch overhead is split evenly across the lanes).
+
+    Each stage is timed into the record's ``spans`` dict; with
+    *profile_dir* set, a cache miss runs unbatched under
+    :mod:`cProfile` and dumps ``<label>.pstats`` there.
+    """
+    from repro.core.engine import ENGINES
+
+    cache = ResultCache(Path(cache_dir))
+    records: List[Optional[JobRecord]] = [None] * len(jobs)
+    #: cache misses awaiting simulation: (index, job, config, trace,
+    #: result key, spans, per-job start time)
+    pending: List[tuple] = []
+
+    for idx, job in enumerate(jobs):
+        start = time.perf_counter()
+        spans: Dict[str, float] = {}
+        config = job_config(job)
+        tkey = trace_index_key(job.suite, job.bench, job.scale)
+        result = None
+        cache_hit = False
+        key = ""
+
+        probe_start = time.perf_counter()
+        if not force:
+            fingerprint = cache.get_trace_fingerprint(tkey)
+            if fingerprint is not None:
+                key = result_key_from_fingerprint(fingerprint, config)
+                payload = cache.get(key)
+                if payload is not None:
+                    result = payload_to_result(payload, config)
+                    cache_hit = True
+        spans["cache_probe"] = time.perf_counter() - probe_start
+
+        if result is None:
+            gen_start = time.perf_counter()
+            trace = job_trace(job)
+            fingerprint = trace_fingerprint(trace)
+            spans["trace_gen"] = time.perf_counter() - gen_start
+            cache.put_trace_fingerprint(tkey, fingerprint)
+            key = result_key_from_fingerprint(fingerprint, config)
+            payload = None if force else cache.get(key)
+            if payload is not None:
+                result = payload_to_result(payload, config)
+                cache_hit = True
+            else:
+                pending.append((idx, job, config, trace, key, spans,
+                                start))
+                continue
+        records[idx] = _record_for(job, key, result, cache_hit, spans,
+                                   start)
+
+    # group the misses by engine; batch-capable engines replay their
+    # whole group in one columnar pass
+    by_engine: Dict[Optional[str], List[tuple]] = {}
+    for item in pending:
+        by_engine.setdefault(item[2].engine, []).append(item)
+    for engine, items in by_engine.items():
+        batch_fn = None
+        if profile_dir is None and len(items) > 1 \
+                and engine in ENGINES:
+            batch_fn = ENGINES.batch(engine)
+        if batch_fn is not None:
+            lane_times: List[float] = []
+            batch_start = time.perf_counter()
+            results = batch_fn(
+                [(trace, config) for _, _, config, trace, _, _, _
+                 in items],
+                lane_times=lane_times)
+            batch_wall = time.perf_counter() - batch_start
+            shared = max(0.0, batch_wall - sum(lane_times)) / len(items)
+            for (idx, job, config, trace, key, spans, start), result, \
+                    lane_s in zip(items, results, lane_times):
+                spans["simulate"] = lane_s + shared
+                cache.put(key, result_to_payload(result))
+                records[idx] = _record_for(job, key, result, False,
+                                           spans, start)
+        else:
+            for idx, job, config, trace, key, spans, start in items:
+                sim_start = time.perf_counter()
+                result = _simulate_one(job, trace, config, profile_dir)
+                spans["simulate"] = time.perf_counter() - sim_start
+                cache.put(key, result_to_payload(result))
+                records[idx] = _record_for(job, key, result, False,
+                                           spans, start)
+    return records  # type: ignore[return-value]
 
 
 def _attach_speedups(records: Sequence[JobRecord]) -> None:
@@ -278,11 +347,31 @@ def run_campaign(jobs: Sequence[CampaignJob], *,
         if progress is not None:
             progress(record)
 
+    def _batchable() -> bool:
+        """Any job pinned to an engine with a batch entry point?"""
+        from repro.core.engine import ENGINES
+        engines = {job_config(job).engine for job in jobs}
+        return any(name in ENGINES and ENGINES.batch(name) is not None
+                   for name in engines)
+
     if workers <= 1 or len(jobs) <= 1:
         workers = 1
-        for job in jobs:
-            finish(_execute_job(job, str(cache_root), force,
-                                profile_arg))
+        for record in _execute_jobs(list(jobs), str(cache_root), force,
+                                    profile_arg):
+            finish(record)
+    elif profile_arg is None and _batchable():
+        # batch-capable engines want whole chunks per worker so lanes
+        # share one columnar pass; contiguous slices keep report order
+        size = -(-len(jobs) // workers)
+        chunks = [list(jobs[i:i + size])
+                  for i in range(0, len(jobs), size)]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_execute_jobs, chunk,
+                                   str(cache_root), force, profile_arg)
+                       for chunk in chunks]
+            for future in futures:
+                for record in future.result():
+                    finish(record)
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_execute_job, job, str(cache_root),

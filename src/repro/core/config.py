@@ -74,7 +74,9 @@ class CoreConfig:
     #: cycle-identical, enforced by the CI backend-equivalence matrix).
     #: ``reference`` forces the per-cycle step loop, ``fast`` is the
     #: event-driven skip-ahead loop, ``compiled`` lowers the trace into
-    #: flat columns and runs specialized straight-line code
+    #: flat columns and runs specialized straight-line code, ``vector``
+    #: replays the lowered columns with memoized NumPy decode passes
+    #: and supports batched multi-trace runs (requires numpy>=1.24)
     engine: str = "fast"
     skewed_select: bool = True
     #: run the Eager-Grandparent (GP) select phase at all; False keeps

@@ -1224,6 +1224,21 @@ def _compiled_engine(trace: Trace, config: CoreConfig, *, obs=None):
     return CompiledSimulator(trace, config)
 
 
+def _vector_engine(trace: Trace, config: CoreConfig, *, obs=None):
+    if obs is not None:
+        # same fallback as "compiled": probe points live in the
+        # reference loop only
+        return CoreSimulator(trace, config, obs=obs)
+    from .vector import VectorSimulator       # lazy: breaks the cycle
+    return VectorSimulator(trace, config)
+
+
+def _vector_batch(items, *, lane_times=None):
+    from .vector import simulate_batch       # lazy: breaks the cycle
+    return simulate_batch(items, lane_times=lane_times)
+
+
 ENGINES.register("reference", _reference_engine)
 ENGINES.register("fast", _fast_engine)
 ENGINES.register("compiled", _compiled_engine)
+ENGINES.register("vector", _vector_engine, batch=_vector_batch)

@@ -112,6 +112,8 @@ def execute_payload(kind: str, payload: Dict[str, Any],
     trace_ctx = payload.pop("_trace", None)
     if kind == "simulate":
         result = _execute_simulate(payload, cache_dir)
+    elif kind == "simulate_batch":
+        result = _execute_simulate_batch(payload, cache_dir)
     elif kind == "estimate":
         result = _execute_estimate(payload, cache_dir)
     elif kind == "verify":
@@ -143,6 +145,31 @@ def _execute_simulate(payload: Dict[str, Any],
         result["workload"] = f"{payload['suite']}/{payload['bench']}"
         return result
     return _execute_inline(payload, cache_dir)
+
+
+def _execute_simulate_batch(payload: Dict[str, Any],
+                            cache_dir: str) -> Dict[str, Any]:
+    """One worker call replaying a whole sweep grid as batch lanes.
+
+    Every job probes the shared cache exactly like the single-job
+    path; the cache misses then go through the engine's registered
+    ``simulate_batch`` (one columnar decode pass for all lanes) via
+    :func:`repro.campaign.runner._execute_jobs`.
+    """
+    from repro.campaign.jobs import CampaignJob
+    from repro.campaign.runner import _execute_jobs
+
+    jobs = [CampaignJob(suite=p["suite"], bench=p["bench"],
+                        core=p["core"], mode=p["mode"],
+                        scale=p.get("scale"), engine=p.get("engine"))
+            for p in payload["jobs"]]
+    records = _execute_jobs(jobs, cache_dir, False)
+    results = []
+    for p, record in zip(payload["jobs"], records):
+        result = asdict(record)
+        result["workload"] = f"{p['suite']}/{p['bench']}"
+        results.append(result)
+    return {"jobs": results, "worker": f"pid-{os.getpid()}"}
 
 
 def _execute_inline(payload: Dict[str, Any],

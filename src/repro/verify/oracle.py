@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.core.audit import audit_run
 from repro.core.config import CoreConfig, RecycleMode, SMALL
 from repro.core.cpu import simulate
+from repro.core.engine import ENGINES
 from repro.isa.interpreter import run_program
 from repro.isa.program import Program
 from repro.pipeline.codegen import generate_trace_compiled
@@ -188,8 +189,10 @@ def check_program(program: Program, *,
             flag(Divergence("engine.trace", None, mismatch))
 
     # 2. every timing mode: audit invariants + commit-count equality
+    audits = {}
     for mode in modes:
         audit = audit_run(trace, config.with_mode(mode))
+        audits[mode] = audit
         verdict.cycles[mode.value] = audit.result.stats.cycles
         committed = audit.result.stats.committed
         if committed != len(trace.entries):
@@ -200,17 +203,28 @@ def check_program(program: Program, *,
             flag(Divergence(f"audit.{violation.rule}", mode.value,
                             f"uop#{violation.seq}: {violation.detail}"))
 
-        # 2b. backend equivalence: each requested engine must reproduce
-        # the audited run's SimStats exactly, mode by mode
-        for engine in engines or ():
-            run = simulate_fn(trace, replace(config.with_mode(mode),
-                                             engine=engine))
+    # 2b. backend equivalence: each requested engine must reproduce the
+    # audited run's SimStats exactly, mode by mode.  An engine with a
+    # registered batch entry point replays all its mode legs in one
+    # batched columnar pass — itself part of the contract under test.
+    for engine in engines or ():
+        configs = [replace(config.with_mode(mode), engine=engine)
+                   for mode in modes]
+        batch_fn = None
+        if simulate_fn is simulate and len(modes) > 1 \
+                and engine in ENGINES:
+            batch_fn = ENGINES.batch(engine)
+        if batch_fn is not None:
+            runs = batch_fn([(trace, cfg) for cfg in configs])
+        else:
+            runs = [simulate_fn(trace, cfg) for cfg in configs]
+        for mode, run in zip(modes, runs):
             verdict.cycles[f"{mode.value}:{engine}"] = run.stats.cycles
-            if run.stats != audit.result.stats:
+            if run.stats != audits[mode].result.stats:
                 flag(Divergence(
                     "engine.stats", mode.value,
                     f"engine {engine!r} diverges from the audited run: "
-                    f"{_diff_stats(audit.result.stats, run.stats)}"))
+                    f"{_diff_stats(audits[mode].result.stats, run.stats)}"))
 
     # 3. metamorphic timing relations
     if metamorphic:

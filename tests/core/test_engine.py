@@ -6,6 +6,7 @@ import pytest
 
 from repro.core import CORES, ENGINES, EngineRegistry, RecycleMode, simulate
 from repro.core.compiled import CompiledSimulator
+from repro.core.vector import VectorSimulator, simulate_batch
 from repro.core.cpu import CoreSimulator
 from repro.obs import Recorder
 from repro.pipeline.trace import generate_trace
@@ -24,13 +25,37 @@ def config():
 
 class TestRegistry:
     def test_builtin_engines_registered(self):
-        assert set(ENGINES.names()) >= {"reference", "fast", "compiled"}
-        for name in ("reference", "fast", "compiled"):
+        assert set(ENGINES.names()) >= {"reference", "fast",
+                                        "compiled", "vector"}
+        for name in ("reference", "fast", "compiled", "vector"):
             assert name in ENGINES
 
     def test_unknown_engine_is_loud(self, tiny_trace, config):
         with pytest.raises(ValueError, match="unknown engine"):
             ENGINES.create("warp", tiny_trace, config)
+
+    def test_unknown_engine_lists_registered_names(self, tiny_trace,
+                                                   config):
+        # the error must enumerate what IS registered, vector included
+        with pytest.raises(ValueError) as err:
+            ENGINES.create("warp", tiny_trace, config)
+        message = str(err.value)
+        for name in ("reference", "fast", "compiled", "vector"):
+            assert name in message
+
+    def test_batch_probe(self):
+        assert ENGINES.batch("vector") is not None
+        assert ENGINES.batch("reference") is None
+        with pytest.raises(ValueError, match="unknown engine"):
+            ENGINES.batch("warp")
+
+    def test_reregistration_drops_stale_batch(self):
+        registry = EngineRegistry()
+        registry.register("x", lambda *a, **k: None,
+                          batch=lambda items: [])
+        assert registry.batch("x") is not None
+        registry.register("x", lambda *a, **k: None)
+        assert registry.batch("x") is None
 
     def test_unknown_engine_via_config(self, tiny_trace, config):
         with pytest.raises(ValueError, match="unknown engine"):
@@ -76,14 +101,33 @@ class TestBackendSelection:
                                 obs=Recorder())
         assert isinstance(runner, CoreSimulator)
 
+    def test_vector_backend(self, tiny_trace, config):
+        runner = ENGINES.create("vector", tiny_trace, config)
+        assert isinstance(runner, VectorSimulator)
+
+    def test_vector_falls_back_under_observation(self, tiny_trace,
+                                                 config):
+        runner = ENGINES.create("vector", tiny_trace, config,
+                                obs=Recorder())
+        assert isinstance(runner, CoreSimulator)
+
 
 class TestBackendEquivalence:
     @pytest.mark.parametrize("mode", list(RecycleMode))
     def test_engines_bit_identical(self, tiny_trace, mode):
         config = CORES["small"].with_mode(mode)
         stats = [simulate(tiny_trace, replace(config, engine=e)).stats
-                 for e in ("reference", "fast", "compiled")]
-        assert stats[0] == stats[1] == stats[2]
+                 for e in ("reference", "fast", "compiled", "vector")]
+        assert stats[0] == stats[1] == stats[2] == stats[3]
+
+    def test_batched_replay_matches_single_runs(self, tiny_trace):
+        items = [(tiny_trace, replace(CORES[core].with_mode(mode),
+                                      engine="vector"))
+                 for core in ("small", "big")
+                 for mode in RecycleMode]
+        batched = simulate_batch(items)
+        for (trace, cfg), result in zip(items, batched):
+            assert result.stats == simulate(trace, cfg).stats
 
     def test_observed_run_matches_unobserved(self, tiny_trace, config):
         plain = simulate(tiny_trace, replace(config, engine="compiled"))

@@ -143,10 +143,11 @@ class TestLoweredExecutionProperty:
            mode=st.sampled_from([RecycleMode.BASELINE,
                                  RecycleMode.REDSOC,
                                  RecycleMode.MOS]))
-    def test_compiled_matches_reference(self, seed, mode):
+    def test_engines_match_reference(self, seed, mode):
         spec = ProgramGenerator(seed, GenConfig()).spec(0)
         trace = generate_trace(materialize(spec))
         config = CORES["small"].with_mode(mode)
         ref = simulate(trace, replace(config, engine="reference"))
-        com = simulate(trace, replace(config, engine="compiled"))
-        assert com.stats == ref.stats
+        for engine in ("fast", "compiled", "vector"):
+            run = simulate(trace, replace(config, engine=engine))
+            assert run.stats == ref.stats, engine

@@ -1,0 +1,117 @@
+"""Vector engine: batch lanes, decode memoization, edge cases."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import CORES, RecycleMode, simulate
+from repro.core.lower import lower_trace
+from repro.core.vector import (
+    VectorSimulator,
+    _decode_key,
+    simulate_batch,
+)
+from repro.pipeline.trace import Trace, generate_trace
+from repro.workloads.suites import SUITES
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return generate_trace(SUITES["ml"]["pool0"](scale=3))
+
+
+@pytest.fixture(scope="module")
+def other_trace():
+    # a different workload at a different scale: ragged lane lengths
+    return generate_trace(SUITES["mibench"]["crc"](scale=2))
+
+
+def _cfg(core="small", mode=RecycleMode.REDSOC):
+    return replace(CORES[core].with_mode(mode), engine="vector")
+
+
+def _empty_trace():
+    return Trace(name="empty", entries=[], final_regs={}, final_mem={})
+
+
+class TestSingleRun:
+    def test_run_matches_reference(self, small_trace):
+        vec = VectorSimulator(small_trace, _cfg()).run()
+        ref = simulate(small_trace, replace(_cfg(), engine="reference"))
+        assert vec.stats == ref.stats
+
+    def test_empty_trace(self):
+        result = VectorSimulator(_empty_trace(), _cfg()).run()
+        assert result.stats.cycles == 0
+        assert result.stats.committed == 0
+
+    def test_repeat_runs_are_deterministic(self, small_trace):
+        # the decode memo and the per-run ex copy must not leak width
+        # predictions (or any other state) between runs
+        first = VectorSimulator(small_trace, _cfg()).run()
+        second = VectorSimulator(small_trace, _cfg()).run()
+        assert first.stats == second.stats
+
+
+class TestDecodeMemo:
+    def test_redsoc_and_mos_share_decode(self, small_trace):
+        # decode depends on recycling on/off only, never the flavour
+        assert _decode_key(_cfg(mode=RecycleMode.REDSOC)) == \
+            _decode_key(_cfg(mode=RecycleMode.MOS))
+        assert _decode_key(_cfg(mode=RecycleMode.BASELINE)) != \
+            _decode_key(_cfg(mode=RecycleMode.REDSOC))
+
+    def test_memo_lands_on_lowered_trace(self, small_trace):
+        VectorSimulator(small_trace, _cfg()).run()
+        low = lower_trace(small_trace)
+        assert _decode_key(_cfg()) in low._vector_decode
+
+
+class TestBatchLanes:
+    def test_k_equals_one(self, small_trace):
+        cfg = _cfg()
+        (result,) = simulate_batch([(small_trace, cfg)])
+        assert result.stats == simulate(small_trace, cfg).stats
+
+    def test_empty_items(self):
+        assert simulate_batch([]) == []
+
+    def test_ragged_lane_lengths(self, small_trace, other_trace):
+        # lanes of different trace lengths share one concatenated
+        # decode pass; results must match unbatched runs lane by lane
+        items = [(small_trace, _cfg()), (other_trace, _cfg()),
+                 (small_trace, _cfg("big"))]
+        results = simulate_batch(items)
+        for (trace, cfg), result in zip(items, results):
+            assert result.stats == simulate(trace, cfg).stats
+
+    def test_empty_trace_lane(self, small_trace):
+        items = [(_empty_trace(), _cfg()), (small_trace, _cfg())]
+        empty, real = simulate_batch(items)
+        assert empty.stats.cycles == 0
+        assert real.stats == simulate(small_trace, _cfg()).stats
+
+    def test_duplicate_trace_lanes(self, small_trace):
+        # the same trace under several configs: one lowering, decode
+        # computed once per distinct decode key
+        items = [(small_trace, _cfg(mode=m)) for m in RecycleMode]
+        results = simulate_batch(items)
+        for (trace, cfg), result in zip(items, results):
+            assert result.stats == simulate(trace, cfg).stats
+
+    def test_lane_times_telemetry(self, small_trace, other_trace):
+        lane_times = []
+        simulate_batch([(small_trace, _cfg()), (other_trace, _cfg())],
+                       lane_times=lane_times)
+        assert len(lane_times) == 2
+        assert all(t > 0 for t in lane_times)
+
+    def test_rejects_programs(self):
+        with pytest.raises(TypeError, match="pre-generated Traces"):
+            simulate_batch([(SUITES["ml"]["pool0"](scale=3), _cfg())])
+
+    def test_order_preserved(self, small_trace, other_trace):
+        items = [(other_trace, _cfg()), (small_trace, _cfg())]
+        results = simulate_batch(items)
+        assert results[0].name == other_trace.name
+        assert results[1].name == small_trace.name

@@ -85,6 +85,24 @@ class TestSweep:
             [("small", "baseline"), ("small", "redsoc")]
         assert "speedup" in jobs[1]
 
+    def test_vector_sweep_rides_batch_lanes(self, client):
+        # a vector-pinned sweep goes to ONE worker as batched lanes;
+        # the reply shape and cycle counts must match the fanned-out
+        # path exactly (engines and batching are performance choices)
+        reply = client.sweep(suite="ml", bench="pool0", scale=3,
+                             cores=["small"],
+                             modes=["baseline", "redsoc"],
+                             engine="vector")
+        jobs = reply["result"]["jobs"]
+        assert [(j["core"], j["mode"]) for j in jobs] == \
+            [("small", "baseline"), ("small", "redsoc")]
+        assert "speedup" in jobs[1]
+        plain = client.sweep(suite="ml", bench="pool0", scale=3,
+                             cores=["small"],
+                             modes=["baseline", "redsoc"])
+        assert [j["cycles"] for j in jobs] == \
+            [j["cycles"] for j in plain["result"]["jobs"]]
+
 
 class TestVerify:
     def test_seeded_batch(self, client):

@@ -48,6 +48,8 @@ class TestEstimateProtocol:
         # name must still fail loudly rather than be silently ignored
         exc = err("estimate", dict(self.NAMED, engine="frobnicate"))
         assert (exc.status, exc.code) == (400, "unknown-engine")
+        for name in ("reference", "fast", "compiled", "vector"):
+            assert name in exc.message
 
     def test_unknown_request_kind_is_404(self):
         exc = err("estimote", dict(self.NAMED))

@@ -208,6 +208,16 @@ class TestEngine:
                            "engine": "warp"})]:
             exc = err(kind, body)
             assert (exc.status, exc.code) == (400, "unknown-engine")
+            # the 400 must enumerate every registered backend so a
+            # client can self-correct — vector included
+            for name in ("reference", "fast", "compiled", "vector"):
+                assert name in exc.message
+
+    def test_vector_engine_accepted(self):
+        spec = parse_request("simulate",
+                             dict(self.NAMED, engine="vector"))
+        [payload] = spec.worker_payloads()
+        assert payload["engine"] == "vector"
 
     def test_engine_changes_fingerprint_only_when_pinned(self):
         base = parse_request("simulate", dict(self.NAMED))

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fail on broken source packages.
+
+Two failure modes, both seen in the wild in this repo:
+
+* a directory in an import tree that contains Python files (or python
+  subpackages) but no ``__init__.py`` — silently unimportable under
+  some launchers, invisible to packaging;
+* a "ghost package": a directory whose only content is ``__pycache__``
+  (left behind when a package's sources are deleted but the dir
+  survives), which keeps shadowing the import name forever.
+
+Run from the repo root (CI lint job does)::
+
+    python tools/check_packages.py
+
+Exits non-zero listing every offender.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+#: import trees that must be package-complete
+ROOTS = ("src", "tests")
+
+#: directory names that never need __init__.py
+IGNORE = {"__pycache__", ".hypothesis", ".pytest_cache"}
+
+
+def check(repo_root: Path) -> list:
+    problems = []
+    for root_name in ROOTS:
+        root = repo_root / root_name
+        if not root.is_dir():
+            continue
+        for directory in sorted(p for p in root.rglob("*")
+                                if p.is_dir()):
+            if IGNORE & set(directory.relative_to(repo_root).parts):
+                continue
+            entries = [p for p in directory.iterdir()
+                       if p.name not in IGNORE]
+            has_py = any(p.suffix == ".py" for p in entries)
+            has_subpkg = any(p.is_dir() and (p / "__init__.py").is_file()
+                             for p in entries)
+            rel = directory.relative_to(repo_root)
+            if not entries:
+                problems.append(f"{rel}: empty directory in an import "
+                                f"tree (stray package?)")
+            elif not (directory / "__init__.py").is_file():
+                if has_py or has_subpkg:
+                    problems.append(f"{rel}: missing __init__.py")
+    return problems
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    problems = check(repo_root)
+    if problems:
+        print("package integrity check failed:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"package integrity OK ({', '.join(ROOTS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
